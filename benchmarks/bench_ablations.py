@@ -1,0 +1,50 @@
+"""Ablation benchmarks: piggyback policy decomposition and cluster-count sweep.
+
+These regenerate the two ablation studies of DESIGN.md (E5 and E6): where the
+Figure 5 peaks come from (piggyback policy) and the rollback-vs-logging
+frontier the clustering tool optimises (cluster-count sweep).
+"""
+
+import pytest
+
+from repro.experiments.ablation_clusters import render as render_sweep
+from repro.experiments.ablation_clusters import run as run_cluster_sweep
+from repro.experiments.ablation_piggyback import render as render_piggyback
+from repro.experiments.ablation_piggyback import run as run_piggyback
+
+
+def test_piggyback_policy_ablation(benchmark):
+    rows = benchmark(run_piggyback, sizes=[1, 16, 32, 64, 512, 1024, 4096, 65536, 1 << 20])
+    print()
+    print(render_piggyback(rows))
+    for row in rows:
+        # Doing nothing costs nothing, and the hybrid rule behaves like the
+        # inline policy below 1 KiB and like the separate-message policy above
+        # (Section V-A): cheap piggybacking for small messages, no extra
+        # memory copy for large ones.
+        assert row["none_pct"] == pytest.approx(0.0, abs=1e-9)
+        hybrid = row["inline-small-separate-large_pct"]
+        if row["bytes"] < 1024:
+            assert hybrid == pytest.approx(row["inline_pct"], abs=0.1)
+        else:
+            assert hybrid == pytest.approx(row["separate_pct"], abs=0.1)
+
+
+@pytest.mark.parametrize("name", ["bt", "cg", "ft"])
+def test_cluster_count_sweep(benchmark, name, table_nprocs):
+    rows = benchmark.pedantic(
+        run_cluster_sweep,
+        kwargs={"benchmark": name, "nprocs": table_nprocs, "counts": [2, 4, 8, 16, 32]},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_sweep(name, rows))
+    rollbacks = [row["rollback_pct"] for row in rows]
+    assert rollbacks == sorted(rollbacks, reverse=True)
+    # FT's all-to-all cannot be clustered cheaply: even the best bisection
+    # logs over a third of the traffic, and more clusters only make it worse.
+    if name == "ft":
+        assert rows[0]["logged_pct"] > 30
+        logged = [row["logged_pct"] for row in rows]
+        assert logged == sorted(logged)

@@ -1,0 +1,36 @@
+"""Benchmark / reproduction of Figure 5: NetPIPE ping-pong under HydEE.
+
+The benchmarked unit is the simulated ping-pong sweep over the message-size
+range for the three configurations (native, HydEE without logging, HydEE with
+logging); the printed series are the Figure 5 curves.
+"""
+
+import pytest
+
+from repro.analysis.netpipe_analysis import analytic_netpipe_experiment, run_netpipe_experiment
+from repro.simulator.network import netpipe_sizes
+
+#: Reduced size sweep (one point per decade region) used by default; the full
+#: NetPIPE sweep (1 B .. 8 MiB) is exercised by the experiment entry point.
+SIZES = [1, 4, 16, 32, 48, 64, 128, 512, 1024, 4096, 65536, 1 << 20, 8 << 20]
+
+
+def test_figure5_simulated_sweep(benchmark):
+    result = benchmark.pedantic(
+        run_netpipe_experiment, kwargs={"sizes": SIZES, "repeats": 2}, rounds=1, iterations=1
+    )
+    print()
+    print(result.as_text())
+    logging_lat = result.latency_reduction_pct("hydee_logging")
+    no_logging_lat = result.latency_reduction_pct("hydee_no_logging")
+    # Shape of Figure 5: overhead is bounded, vanishes for large messages and
+    # logging ~ no-logging (the memcpy is hidden by the transfer).
+    assert min(logging_lat) > -45.0
+    assert logging_lat[-1] > -2.0
+    assert all(abs(a - b) < 5.0 for a, b in zip(logging_lat, no_logging_lat))
+
+
+def test_figure5_analytic_model(benchmark):
+    series = benchmark(analytic_netpipe_experiment, sizes=list(netpipe_sizes(8 << 20)))
+    assert len(series["sizes"]) == len(series["latency_reduction_logging_pct"])
+    assert all(v <= 1e-9 for v in series["latency_reduction_logging_pct"])

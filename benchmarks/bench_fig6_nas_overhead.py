@@ -1,0 +1,41 @@
+"""Benchmark / reproduction of Figure 6: NAS failure-free overhead.
+
+The benchmarked unit is the three-way comparison (native MPICH2, full message
+logging, HydEE with clustering) for one NAS kernel.  The default rank count
+is scaled down (36, or 256 with ``REPRO_BENCH_FULL=1``); the quantity that
+must reproduce is the *normalized* execution time, which the paper reports to
+be at most ~1.25 % above native for HydEE and no better for full logging.
+"""
+
+import pytest
+
+from repro.analysis.overhead import measure_overhead, render_figure6
+
+#: FT's all-to-all is quadratic in the rank count; keep the per-benchmark
+#: budget reasonable by default.
+BENCHMARKS = ["bt", "cg", "ft", "lu", "mg", "sp"]
+
+
+@pytest.mark.parametrize("name", BENCHMARKS)
+def test_figure6_overhead(benchmark, name, bench_nprocs):
+    nprocs = bench_nprocs
+    iterations = 2
+    row = benchmark.pedantic(
+        measure_overhead,
+        args=(name,),
+        kwargs={"nprocs": nprocs, "iterations": iterations},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_figure6([row]))
+    native = row.normalized("native")
+    hydee = row.normalized("hydee")
+    logging_all = row.normalized("message_logging")
+    assert native == pytest.approx(1.0)
+    # Figure 6 shape: both overheads are small; HydEE never costs more than
+    # logging every message.
+    assert 1.0 < hydee < 1.08
+    assert hydee <= logging_all + 1e-6
+    # HydEE logs only the inter-cluster fraction of the traffic.
+    assert row.logged_fraction["hydee"] < row.logged_fraction["message_logging"]

@@ -1,0 +1,51 @@
+"""Benchmark of HydEE recovery (failure containment experiment, Section IV).
+
+The benchmarked unit is a full run of a 2-D stencil with an injected failure,
+including rollback of the affected cluster, phase-ordered replay from the
+sender-based logs and completion of the application.  The assertions check
+the containment and correctness claims each time the benchmark runs.
+"""
+
+import pytest
+
+from repro import HydEEConfig, HydEEProtocol, Simulation
+from repro.analysis.containment import render_containment, run_containment_experiment
+from repro.clustering import block_partition
+from repro.simulator.failures import FailureEvent, FailureInjector
+from repro.workloads import Stencil2DApplication
+
+NPROCS = 16
+ITERATIONS = 8
+CLUSTERS = block_partition(NPROCS, 4)
+
+
+def _run_with_failure():
+    app = Stencil2DApplication(nprocs=NPROCS, iterations=ITERATIONS)
+    protocol = HydEEProtocol(
+        HydEEConfig(clusters=CLUSTERS, checkpoint_interval=2, checkpoint_size_bytes=64 * 1024)
+    )
+    failures = FailureInjector([FailureEvent(ranks=[5], at_iteration=5)])
+    result = Simulation(app, nprocs=NPROCS, protocol=protocol, failures=failures).run()
+    return result, protocol
+
+
+def test_hydee_recovery_benchmark(benchmark):
+    result, protocol = benchmark.pedantic(_run_with_failure, rounds=3, iterations=1)
+    assert result.completed
+    assert result.stats.ranks_rolled_back == 4
+    assert protocol.pstats.determinants_logged == 0
+    assert protocol.pstats.replayed_messages > 0
+
+
+def test_containment_comparison_benchmark(benchmark):
+    rows = benchmark.pedantic(
+        run_containment_experiment,
+        kwargs={"nprocs": NPROCS, "iterations": 6, "fail_at_iteration": 4},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_containment(rows))
+    by_name = {row.protocol: row for row in rows}
+    assert by_name["hydee"].ranks_rolled_back < by_name["coordinated"].ranks_rolled_back
+    assert all(row.results_match_reference for row in rows)

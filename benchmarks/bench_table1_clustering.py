@@ -1,0 +1,34 @@
+"""Benchmark / reproduction of Table I: clustering the six NAS kernels.
+
+The benchmarked unit is the full Table I computation for one benchmark
+(analytic communication graph at 256 ranks + partitioning + metrics).  The
+assertions pin the reproduced values to the paper's within loose bands so a
+regression in the partitioner or in the synthetic communication patterns is
+caught here.
+"""
+
+import pytest
+
+from repro.analysis.table1 import build_table1, render_table1, table1_row
+from repro.clustering.presets import TABLE1_PAPER_VALUES
+from repro.workloads.nas import NAS_BENCHMARKS
+
+
+@pytest.mark.parametrize("name", sorted(NAS_BENCHMARKS))
+def test_table1_row(benchmark, name, table_nprocs):
+    row = benchmark.pedantic(
+        table1_row, args=(name,), kwargs={"nprocs": table_nprocs}, rounds=1, iterations=1
+    )
+    paper = TABLE1_PAPER_VALUES[name]
+    assert row.num_clusters == paper["clusters"]
+    assert row.rollback_pct == pytest.approx(paper["rollback_pct"], abs=6.0)
+    assert row.logged_pct == pytest.approx(paper["logged_pct"], abs=8.0)
+
+
+def test_table1_full(benchmark, table_nprocs):
+    """The whole table (all six benchmarks), printed like the paper's Table I."""
+    rows = benchmark.pedantic(build_table1, kwargs={"nprocs": table_nprocs},
+                              rounds=1, iterations=1)
+    print()
+    print(render_table1(rows))
+    assert len(rows) == 6

@@ -1,0 +1,27 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark regenerates (a scaled-down version of) one of the paper's
+tables or figures and prints the corresponding rows, so that
+``pytest benchmarks/ --benchmark-only`` doubles as the reproduction harness.
+Set ``REPRO_BENCH_FULL=1`` to run the paper-scale (256-rank) configurations.
+"""
+
+import os
+
+import pytest
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def bench_nprocs() -> int:
+    """Rank count used by the simulation-based benchmarks."""
+    return 256 if full_scale() else 36
+
+
+@pytest.fixture(scope="session")
+def table_nprocs() -> int:
+    """Rank count used by the (analytic) clustering benchmarks."""
+    return 256

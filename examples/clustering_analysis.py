@@ -1,0 +1,31 @@
+#!/usr/bin/env python3
+"""Table I example: cluster the six NAS kernels and print the trade-off.
+
+Rebuilds Table I of the paper (number of clusters, expected rollback
+fraction, logged volume) from the synthetic NAS communication graphs at 256
+processes, and prints the cluster-count frontier for one benchmark to show
+the trade-off the clustering tool optimises.
+"""
+
+import argparse
+
+from repro.analysis import build_table1, render_table1
+from repro.experiments.ablation_clusters import render as render_sweep
+from repro.experiments.ablation_clusters import run as run_sweep
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nprocs", type=int, default=256)
+    parser.add_argument("--frontier-benchmark", default="bt")
+    args = parser.parse_args()
+
+    rows = build_table1(nprocs=args.nprocs)
+    print(render_table1(rows))
+    print()
+    sweep = run_sweep(benchmark=args.frontier_benchmark, nprocs=args.nprocs)
+    print(render_sweep(args.frontier_benchmark, sweep))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Shim so that legacy tooling (``pip install -e . --no-use-pep517``,
+``python setup.py develop``) works in environments without PEP 660 support;
+all metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""Measurement harnesses and performance models for the paper's evaluation."""
+
+from repro.analysis.perf_model import (
+    MessageCostBreakdown,
+    analytic_pingpong_series,
+    iteration_overhead_estimate,
+    message_cost,
+)
+from repro.analysis.netpipe_analysis import (
+    NetpipeResult,
+    analytic_netpipe_experiment,
+    run_netpipe_experiment,
+)
+from repro.analysis.table1 import Table1Row, build_table1, render_table1, table1_row
+from repro.analysis.overhead import (
+    OverheadRow,
+    build_figure6,
+    measure_overhead,
+    render_figure6,
+)
+from repro.analysis.containment import (
+    ContainmentRow,
+    render_containment,
+    run_containment_experiment,
+)
+from repro.analysis.reporting import format_dict_table, format_series, format_table, percent
+
+__all__ = [
+    "MessageCostBreakdown",
+    "message_cost",
+    "analytic_pingpong_series",
+    "iteration_overhead_estimate",
+    "NetpipeResult",
+    "run_netpipe_experiment",
+    "analytic_netpipe_experiment",
+    "Table1Row",
+    "table1_row",
+    "build_table1",
+    "render_table1",
+    "OverheadRow",
+    "measure_overhead",
+    "build_figure6",
+    "render_figure6",
+    "ContainmentRow",
+    "run_containment_experiment",
+    "render_containment",
+    "format_table",
+    "format_dict_table",
+    "format_series",
+    "percent",
+]

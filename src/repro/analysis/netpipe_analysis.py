@@ -1,0 +1,123 @@
+"""Figure 5 harness: NetPIPE ping-pong under native MPICH2 and HydEE.
+
+Three configurations are measured over a sweep of message sizes:
+
+* ``native``            -- no protocol (the MPICH2 reference);
+* ``hydee_no_logging``  -- both ranks in the same cluster: only the
+  piggybacked (date, phase) is paid;
+* ``hydee_logging``     -- ranks in different clusters: piggyback plus
+  sender-based payload logging.
+
+The harness can run the actual simulated ping-pong (default) or fall back to
+the closed-form model of :mod:`repro.analysis.perf_model`; both produce the
+same series structure so the benchmarks and tests can compare them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.perf_model import analytic_pingpong_series
+from repro.analysis.reporting import format_series
+from repro.core.config import HydEEConfig
+from repro.core.protocol import HydEEProtocol
+from repro.simulator.network import MyrinetMXModel, NetworkModel, netpipe_sizes
+from repro.simulator.simulation import Simulation, SimulationConfig
+from repro.workloads.netpipe import PingPongApplication
+
+
+@dataclass
+class NetpipeResult:
+    """Latency/bandwidth sweep for the three Figure 5 configurations."""
+
+    sizes: List[int]
+    latency_s: Dict[str, List[float]] = field(default_factory=dict)
+    bandwidth_bytes_per_s: Dict[str, List[float]] = field(default_factory=dict)
+
+    def latency_reduction_pct(self, config: str) -> List[float]:
+        """Latency change vs native, in percent (negative = slower)."""
+        native = self.latency_s["native"]
+        other = self.latency_s[config]
+        return [100.0 * (n - o) / n if n > 0 else 0.0 for n, o in zip(native, other)]
+
+    def bandwidth_reduction_pct(self, config: str) -> List[float]:
+        """Bandwidth change vs native, in percent (negative = lower)."""
+        native = self.bandwidth_bytes_per_s["native"]
+        other = self.bandwidth_bytes_per_s[config]
+        return [100.0 * (o - n) / n if n > 0 else 0.0 for n, o in zip(native, other)]
+
+    def as_text(self) -> str:
+        series = {
+            "lat% no-log": [round(v, 2) for v in self.latency_reduction_pct("hydee_no_logging")],
+            "lat% log": [round(v, 2) for v in self.latency_reduction_pct("hydee_logging")],
+            "bw% no-log": [round(v, 2) for v in self.bandwidth_reduction_pct("hydee_no_logging")],
+            "bw% log": [round(v, 2) for v in self.bandwidth_reduction_pct("hydee_logging")],
+        }
+        return format_series(
+            "bytes",
+            self.sizes,
+            series,
+            title="Figure 5 -- ping-pong performance change vs native MPICH2 (negative = overhead)",
+        )
+
+
+def _run_pingpong(
+    sizes: Sequence[int],
+    network: NetworkModel,
+    protocol_factory,
+    repeats: int,
+) -> Dict[int, Dict[str, float]]:
+    app = PingPongApplication(nprocs=2, sizes=list(sizes), repeats=repeats)
+    protocol = protocol_factory() if protocol_factory is not None else None
+    sim = Simulation(
+        app,
+        nprocs=2,
+        protocol=protocol,
+        config=SimulationConfig(network=network, record_trace_events=False),
+    )
+    result = sim.run()
+    return result.rank_results[0]["measurements"]
+
+
+def run_netpipe_experiment(
+    sizes: Optional[Sequence[int]] = None,
+    network: Optional[NetworkModel] = None,
+    repeats: int = 3,
+    piggyback_bytes: int = 12,
+) -> NetpipeResult:
+    """Run the simulated Figure 5 experiment and return the three series."""
+    network = network or MyrinetMXModel()
+    sizes = list(sizes) if sizes is not None else list(netpipe_sizes())
+
+    configs = {
+        "native": None,
+        # Both ranks in the same cluster: nothing is logged.
+        "hydee_no_logging": lambda: HydEEProtocol(
+            HydEEConfig(clusters=[[0, 1]], piggyback_bytes=piggyback_bytes)
+        ),
+        # Ranks in different clusters: the ping-pong channel is logged.
+        "hydee_logging": lambda: HydEEProtocol(
+            HydEEConfig(clusters=[[0], [1]], piggyback_bytes=piggyback_bytes)
+        ),
+    }
+
+    result = NetpipeResult(sizes=list(sizes))
+    for name, factory in configs.items():
+        measurements = _run_pingpong(sizes, network, factory, repeats)
+        result.latency_s[name] = [measurements[s]["latency_s"] for s in sizes]
+        result.bandwidth_bytes_per_s[name] = [
+            measurements[s]["bandwidth_bytes_per_s"] for s in sizes
+        ]
+    return result
+
+
+def analytic_netpipe_experiment(
+    sizes: Optional[Sequence[int]] = None,
+    network: Optional[NetworkModel] = None,
+    piggyback_bytes: int = 12,
+) -> Dict[str, List[float]]:
+    """Closed-form counterpart of :func:`run_netpipe_experiment`."""
+    return analytic_pingpong_series(
+        sizes=sizes, network=network, piggyback_bytes=piggyback_bytes
+    )

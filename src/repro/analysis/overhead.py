@@ -1,0 +1,161 @@
+"""Figure 6 harness: NAS failure-free overhead.
+
+For each NAS kernel the harness runs the same workload under three
+configurations and reports the execution time normalized to native MPICH2:
+
+* ``native``           -- no fault-tolerance protocol,
+* ``message_logging``  -- HydEE's mechanisms with *every* message payload
+  logged (the "Message Logging" bars of Figure 6),
+* ``hydee``            -- HydEE with the process clustering computed by the
+  clustering tool (partial logging).
+
+The paper reports a worst-case overhead of ~1.25 % for HydEE and slightly
+more when everything is logged; the shape to reproduce is "both are small,
+HydEE is consistently at or below full logging".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.reporting import format_table
+from repro.clustering.comm_graph import CommunicationGraph
+from repro.clustering.partitioner import partition
+from repro.clustering.presets import TABLE1_CLUSTER_COUNTS
+from repro.core.config import HydEEConfig
+from repro.core.protocol import HydEEProtocol
+from repro.simulator.network import MyrinetMXModel, NetworkModel
+from repro.simulator.simulation import Simulation, SimulationConfig
+from repro.workloads.nas import NAS_BENCHMARKS
+
+
+@dataclass
+class OverheadRow:
+    """Normalized execution times of one benchmark (one group of Figure 6 bars)."""
+
+    benchmark: str
+    nprocs: int
+    iterations: int
+    makespans_s: Dict[str, float] = field(default_factory=dict)
+    logged_fraction: Dict[str, float] = field(default_factory=dict)
+
+    def normalized(self, config: str) -> float:
+        native = self.makespans_s.get("native", 0.0)
+        if native <= 0:
+            return 0.0
+        return self.makespans_s[config] / native
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "benchmark": self.benchmark.upper(),
+            "nprocs": self.nprocs,
+            "iterations": self.iterations,
+        }
+        for name in self.makespans_s:
+            out[f"{name}_normalized"] = round(self.normalized(name), 5)
+            out[f"{name}_makespan_s"] = self.makespans_s[name]
+        for name, fraction in self.logged_fraction.items():
+            out[f"{name}_logged_pct"] = round(100.0 * fraction, 2)
+        return out
+
+
+def _cluster_for(benchmark: str, nprocs: int, iterations: int) -> List[List[int]]:
+    app = NAS_BENCHMARKS[benchmark](nprocs=nprocs, iterations=iterations)
+    graph = CommunicationGraph.from_matrix(app.communication_matrix())
+    preset = TABLE1_CLUSTER_COUNTS[benchmark]
+    k = min(preset, nprocs)
+    return partition(graph, k, method="auto", balance_tolerance=1.1).clusters
+
+
+def measure_overhead(
+    benchmark: str,
+    nprocs: int = 64,
+    iterations: int = 2,
+    network: Optional[NetworkModel] = None,
+    clusters: Optional[Sequence[Sequence[int]]] = None,
+    include_hybrid_event_logging: bool = False,
+    message_scale: float = 1.0,
+) -> OverheadRow:
+    """Measure the Figure 6 configurations for one benchmark."""
+    name = benchmark.lower()
+    network = network or MyrinetMXModel()
+    clusters = (
+        [list(c) for c in clusters]
+        if clusters is not None
+        else _cluster_for(name, nprocs, iterations)
+    )
+
+    def _run(protocol) -> Simulation:
+        app = NAS_BENCHMARKS[name](
+            nprocs=nprocs, iterations=iterations, message_scale=message_scale
+        )
+        sim = Simulation(
+            app,
+            nprocs=nprocs,
+            protocol=protocol,
+            config=SimulationConfig(network=network, record_trace_events=False),
+        )
+        sim.run()
+        return sim
+
+    row = OverheadRow(benchmark=name, nprocs=nprocs, iterations=iterations)
+
+    native = _run(None)
+    row.makespans_s["native"] = native.stats.makespan
+    row.logged_fraction["native"] = 0.0
+
+    log_all = _run(HydEEProtocol(HydEEConfig(log_all_messages=True)))
+    row.makespans_s["message_logging"] = log_all.stats.makespan
+    row.logged_fraction["message_logging"] = log_all.stats.logged_fraction_bytes
+
+    hydee = _run(HydEEProtocol(HydEEConfig(clusters=clusters)))
+    row.makespans_s["hydee"] = hydee.stats.makespan
+    row.logged_fraction["hydee"] = hydee.stats.logged_fraction_bytes
+
+    if include_hybrid_event_logging:
+        from repro.ftprotocols.hybrid_event_logging import HybridEventLoggingProtocol
+
+        hybrid = _run(HybridEventLoggingProtocol(HydEEConfig(clusters=clusters)))
+        row.makespans_s["hybrid_event_logging"] = hybrid.stats.makespan
+        row.logged_fraction["hybrid_event_logging"] = hybrid.stats.logged_fraction_bytes
+
+    return row
+
+
+def build_figure6(
+    benchmarks: Optional[Sequence[str]] = None,
+    nprocs: int = 64,
+    iterations: int = 2,
+    network: Optional[NetworkModel] = None,
+    include_hybrid_event_logging: bool = False,
+) -> List[OverheadRow]:
+    """Measure every Figure 6 group of bars."""
+    benchmarks = list(benchmarks) if benchmarks is not None else list(NAS_BENCHMARKS)
+    return [
+        measure_overhead(
+            name,
+            nprocs=nprocs,
+            iterations=iterations,
+            network=network,
+            include_hybrid_event_logging=include_hybrid_event_logging,
+        )
+        for name in benchmarks
+    ]
+
+
+def render_figure6(rows: Sequence[OverheadRow]) -> str:
+    configs = [c for c in rows[0].makespans_s] if rows else []
+    headers = ["bench", "nprocs"] + [f"{c} (norm.)" for c in configs] + ["hydee logged %"]
+    data = []
+    for row in rows:
+        data.append(
+            [row.benchmark.upper(), row.nprocs]
+            + [round(row.normalized(c), 4) for c in configs]
+            + [round(100.0 * row.logged_fraction.get("hydee", 0.0), 1)]
+        )
+    return format_table(
+        headers,
+        data,
+        title="Figure 6 -- NAS failure-free execution time normalized to native MPICH2",
+    )

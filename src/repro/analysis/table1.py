@@ -1,0 +1,132 @@
+"""Table I harness: application clustering on 256 processes.
+
+For each of the six NAS class D kernels the harness
+
+1. builds the communication graph of a full run (per-iteration analytic
+   pattern scaled by the NPB iteration count),
+2. partitions it into the number of clusters the paper's tool selected
+   (Table I of the paper: BT 5, CG 16, FT 2, LU 8, MG 4, SP 6),
+3. reports the number of clusters, the average fraction of processes rolled
+   back by a single failure and the logged/total volume -- the three columns
+   of Table I -- next to the paper's values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.reporting import format_table
+from repro.clustering.comm_graph import CommunicationGraph
+from repro.clustering.metrics import ClusteringMetrics
+from repro.clustering.partitioner import ClusteringResult, partition
+from repro.clustering.presets import TABLE1_CLUSTER_COUNTS, TABLE1_PAPER_VALUES
+from repro.workloads.nas import NAS_BENCHMARKS
+
+
+@dataclass
+class Table1Row:
+    """One benchmark's clustering configuration (one row of Table I)."""
+
+    benchmark: str
+    num_clusters: int
+    rollback_pct: float
+    logged_gb: float
+    total_gb: float
+    logged_pct: float
+    method: str
+    paper: Dict[str, float]
+    clusters: List[List[int]]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "benchmark": self.benchmark.upper(),
+            "clusters": self.num_clusters,
+            "rollback_pct": round(self.rollback_pct, 2),
+            "paper_rollback_pct": self.paper["rollback_pct"],
+            "logged_pct": round(self.logged_pct, 2),
+            "paper_logged_pct": self.paper["logged_pct"],
+            "logged_gb": round(self.logged_gb, 1),
+            "total_gb": round(self.total_gb, 1),
+            "paper_logged_gb": self.paper["logged_gb"],
+            "paper_total_gb": self.paper["total_gb"],
+            "method": self.method,
+        }
+
+
+def table1_row(
+    benchmark: str,
+    nprocs: int = 256,
+    num_clusters: Optional[int] = None,
+    balance_tolerance: float = 1.1,
+    method: str = "auto",
+) -> Table1Row:
+    """Compute one Table I row."""
+    name = benchmark.lower()
+    app = NAS_BENCHMARKS[name](nprocs=nprocs, iterations=1)
+    graph = CommunicationGraph.from_matrix(app.full_run_matrix())
+    k = num_clusters if num_clusters is not None else TABLE1_CLUSTER_COUNTS[name]
+    result: ClusteringResult = partition(
+        graph, k, method=method, balance_tolerance=balance_tolerance
+    )
+    metrics: ClusteringMetrics = result.metrics
+    paper = TABLE1_PAPER_VALUES.get(name, {})
+    return Table1Row(
+        benchmark=name,
+        num_clusters=metrics.num_clusters,
+        rollback_pct=100.0 * metrics.rollback_fraction,
+        logged_gb=metrics.logged_bytes / 1e9,
+        total_gb=metrics.total_bytes / 1e9,
+        logged_pct=100.0 * metrics.logged_fraction,
+        method=result.method,
+        paper=paper,
+        clusters=result.clusters,
+    )
+
+
+def build_table1(
+    benchmarks: Optional[Sequence[str]] = None,
+    nprocs: int = 256,
+    balance_tolerance: float = 1.1,
+) -> List[Table1Row]:
+    """Compute every row of Table I."""
+    benchmarks = list(benchmarks) if benchmarks is not None else list(NAS_BENCHMARKS)
+    return [
+        table1_row(name, nprocs=nprocs, balance_tolerance=balance_tolerance)
+        for name in benchmarks
+    ]
+
+
+def render_table1(rows: Sequence[Table1Row]) -> str:
+    headers = [
+        "bench",
+        "clusters",
+        "rollback %",
+        "paper %",
+        "logged %",
+        "paper %",
+        "logged GB",
+        "total GB",
+        "paper GB (log/total)",
+    ]
+    data = []
+    for row in rows:
+        d = row.as_dict()
+        data.append(
+            [
+                d["benchmark"],
+                d["clusters"],
+                d["rollback_pct"],
+                d["paper_rollback_pct"],
+                d["logged_pct"],
+                d["paper_logged_pct"],
+                d["logged_gb"],
+                d["total_gb"],
+                f"{d['paper_logged_gb']:.0f}/{d['paper_total_gb']:.0f}",
+            ]
+        )
+    return format_table(
+        headers,
+        data,
+        title=f"Table I -- application clustering on {256} processes (measured vs paper)",
+    )

@@ -1,0 +1,41 @@
+"""Process clustering substrate (the off-line tool of Ropars et al. [28])."""
+
+from repro.clustering.comm_graph import CommunicationGraph
+from repro.clustering.metrics import ClusteringMetrics, evaluate_clustering, rollback_fraction
+from repro.clustering.partitioner import (
+    ClusteringResult,
+    block_partition,
+    choose_clustering,
+    cluster_application,
+    greedy_agglomerative,
+    partition,
+    refine,
+    repartition_online,
+    sweep_cluster_counts,
+)
+from repro.clustering.presets import (
+    FIGURE6_PAPER_OVERHEAD,
+    TABLE1_CLUSTER_COUNTS,
+    TABLE1_PAPER_VALUES,
+    preset_cluster_count,
+)
+
+__all__ = [
+    "CommunicationGraph",
+    "ClusteringMetrics",
+    "evaluate_clustering",
+    "rollback_fraction",
+    "ClusteringResult",
+    "block_partition",
+    "greedy_agglomerative",
+    "refine",
+    "partition",
+    "cluster_application",
+    "choose_clustering",
+    "sweep_cluster_counts",
+    "repartition_online",
+    "TABLE1_CLUSTER_COUNTS",
+    "TABLE1_PAPER_VALUES",
+    "FIGURE6_PAPER_OVERHEAD",
+    "preset_cluster_count",
+]

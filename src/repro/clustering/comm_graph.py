@@ -1,0 +1,121 @@
+"""Communication graph construction.
+
+The clustering tool of Ropars et al. [28] -- used by the paper to produce the
+configurations of Table I -- takes as input a graph whose vertices are the
+application processes and whose edge weights are the volumes of data
+exchanged on each channel.  The paper's authors instrumented MPICH2 to
+collect those volumes; this module builds the same graph either
+
+* analytically, from a workload's :meth:`communication_matrix` (fast path
+  used by the Table I harness),
+* from a simulation trace (:class:`repro.simulator.trace.TraceRecorder`),
+  which is the instrumented-library equivalent,
+* or directly from a dense numpy matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import ClusteringError
+
+
+@dataclass
+class CommunicationGraph:
+    """Symmetric channel-volume graph over ``nprocs`` processes."""
+
+    #: directed volume matrix in bytes; entry [i, j] = bytes sent from i to j.
+    volume: np.ndarray
+    #: optional directed message-count matrix.
+    messages: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.volume = np.asarray(self.volume, dtype=np.float64)
+        if self.volume.ndim != 2 or self.volume.shape[0] != self.volume.shape[1]:
+            raise ClusteringError("communication matrix must be square")
+        if (self.volume < 0).any():
+            raise ClusteringError("communication volumes must be non-negative")
+        if self.messages is not None:
+            self.messages = np.asarray(self.messages, dtype=np.float64)
+            if self.messages.shape != self.volume.shape:
+                raise ClusteringError("message-count matrix shape mismatch")
+
+    # ------------------------------------------------------------------ props
+    @property
+    def nprocs(self) -> int:
+        return self.volume.shape[0]
+
+    @property
+    def total_bytes(self) -> float:
+        return float(self.volume.sum())
+
+    def symmetric(self) -> np.ndarray:
+        """Undirected volume matrix (sum of both directions)."""
+        return self.volume + self.volume.T
+
+    def channel_bytes(self, src: int, dst: int) -> float:
+        return float(self.volume[src, dst])
+
+    def heaviest_channels(self, k: int = 10) -> List[Tuple[int, int, float]]:
+        sym = np.triu(self.symmetric(), k=1)
+        flat = np.argsort(sym, axis=None)[::-1][:k]
+        out = []
+        for index in flat:
+            i, j = np.unravel_index(index, sym.shape)
+            if sym[i, j] <= 0:
+                break
+            out.append((int(i), int(j), float(sym[i, j])))
+        return out
+
+    # -------------------------------------------------------------- builders
+    @classmethod
+    def from_matrix(cls, matrix: np.ndarray) -> "CommunicationGraph":
+        return cls(volume=np.asarray(matrix, dtype=np.float64))
+
+    @classmethod
+    def from_trace(cls, trace, nprocs: int) -> "CommunicationGraph":
+        """Build from a :class:`TraceRecorder` (instrumented-library path)."""
+        return cls(
+            volume=trace.communication_matrix(nprocs, weight="bytes"),
+            messages=trace.communication_matrix(nprocs, weight="messages"),
+        )
+
+    @classmethod
+    def from_application(cls, application, weight: str = "bytes") -> "CommunicationGraph":
+        """Build from a workload's analytic communication matrix."""
+        matrix = application.communication_matrix(weight=weight)
+        graph = cls(volume=np.asarray(matrix, dtype=np.float64))
+        try:
+            graph.messages = np.asarray(
+                application.communication_matrix(weight="messages"), dtype=np.float64
+            )
+        except NotImplementedError:  # pragma: no cover - optional
+            graph.messages = None
+        return graph
+
+    # ------------------------------------------------------------- networkx
+    def to_networkx(self) -> nx.Graph:
+        """Undirected weighted graph (weight = bytes in both directions)."""
+        sym = self.symmetric()
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.nprocs))
+        rows, cols = np.nonzero(np.triu(sym, k=1))
+        for i, j in zip(rows.tolist(), cols.tolist()):
+            graph.add_edge(i, j, weight=float(sym[i, j]))
+        return graph
+
+    # ------------------------------------------------------------------ misc
+    def cut_bytes(self, clusters: Iterable[Iterable[int]]) -> float:
+        """Bytes crossing cluster boundaries (i.e. the logged volume)."""
+        assignment = np.full(self.nprocs, -1, dtype=np.int64)
+        for cid, members in enumerate(clusters):
+            for rank in members:
+                assignment[rank] = cid
+        if (assignment < 0).any():
+            raise ClusteringError("clusters do not cover every rank")
+        mask = assignment[:, None] != assignment[None, :]
+        return float(self.volume[mask].sum())

@@ -1,0 +1,54 @@
+"""Clustering presets matching Table I of the paper.
+
+The paper runs the clustering tool of [28] on communication graphs collected
+from the class D NAS benchmarks on 256 processes and reports the resulting
+number of clusters.  These counts are reused by the Table I harness so that
+the reproduction is evaluated with the same cluster counts as the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Number of clusters chosen by the paper's tool on 256 processes (Table I).
+TABLE1_CLUSTER_COUNTS: Dict[str, int] = {
+    "bt": 5,
+    "cg": 16,
+    "ft": 2,
+    "lu": 8,
+    "mg": 4,
+    "sp": 6,
+}
+
+#: Values reported in Table I of the paper (for EXPERIMENTS.md comparisons).
+TABLE1_PAPER_VALUES: Dict[str, Dict[str, float]] = {
+    "bt": {"clusters": 5, "rollback_pct": 21.78, "logged_pct": 18.09,
+           "logged_gb": 143.0, "total_gb": 791.0},
+    "cg": {"clusters": 16, "rollback_pct": 6.25, "logged_pct": 18.98,
+           "logged_gb": 440.0, "total_gb": 2318.0},
+    "ft": {"clusters": 2, "rollback_pct": 50.0, "logged_pct": 50.19,
+           "logged_gb": 431.0, "total_gb": 860.0},
+    "lu": {"clusters": 8, "rollback_pct": 12.5, "logged_pct": 13.26,
+           "logged_gb": 44.0, "total_gb": 337.0},
+    "mg": {"clusters": 4, "rollback_pct": 25.0, "logged_pct": 19.63,
+           "logged_gb": 13.0, "total_gb": 66.0},
+    "sp": {"clusters": 6, "rollback_pct": 18.56, "logged_pct": 20.04,
+           "logged_gb": 289.0, "total_gb": 1446.0},
+}
+
+#: Figure 6 failure-free overheads reported by the paper (normalized time).
+FIGURE6_PAPER_OVERHEAD: Dict[str, Dict[str, float]] = {
+    # Values read off Figure 6: native = 1.0 by construction; message logging
+    # and HydEE stay within a few percent of native (HydEE at most 1.25 %).
+    "bt": {"message_logging": 1.02, "hydee": 1.01},
+    "cg": {"message_logging": 1.03, "hydee": 1.01},
+    "ft": {"message_logging": 1.05, "hydee": 1.012},
+    "lu": {"message_logging": 1.02, "hydee": 1.005},
+    "mg": {"message_logging": 1.02, "hydee": 1.01},
+    "sp": {"message_logging": 1.03, "hydee": 1.012},
+}
+
+
+def preset_cluster_count(benchmark: str) -> int:
+    """Cluster count used by the paper for ``benchmark`` (case-insensitive)."""
+    return TABLE1_CLUSTER_COUNTS[benchmark.lower()]

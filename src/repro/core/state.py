@@ -1,0 +1,108 @@
+"""Per-rank HydEE protocol state.
+
+Bundles the failure-free state of Algorithm 1 (clock, RPP table, sender log)
+with the transient recovery state of Algorithms 2 and 3 (orphan dates,
+rollback dates, resend lists, send gates).  The failure-free part is what
+gets embedded in checkpoints; the recovery part only exists while a recovery
+session is active.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+from repro.core.message_log import LogEntry, SenderLog
+from repro.core.phase import PhaseClock
+from repro.core.rpp import RPPTable
+from repro.simulator.engine import Condition
+
+
+@dataclass
+class RecoveryRankState:
+    """Transient per-rank state used while a recovery session is active."""
+
+    #: True when this rank is part of a rolled back cluster.
+    rolled_back: bool = False
+    #: Rolled-back peers (outside this rank's own cluster) whose Rollback
+    #: notification has not been processed yet.
+    awaiting_rollback_from: Set[int] = field(default_factory=set)
+    #: Rolled-back rank only: peers outside the cluster whose LastDate answer
+    #: is still missing (Algorithm 2, line 8).
+    awaiting_lastdate_from: Set[int] = field(default_factory=set)
+    #: OrphanDate[j]: send-date of the last message from *this* rank that
+    #: rank ``j`` delivered before the failure (Algorithm 2, lines 9-10).
+    orphan_date: Dict[int, int] = field(default_factory=dict)
+    #: RollbackDate[j]: restart date of rolled back rank ``j`` (Algorithm 3,
+    #: lines 20-21), used to compute orphan phases from the RPP table.
+    rollback_date: Dict[int, int] = field(default_factory=dict)
+    #: Logged messages that must be replayed, grouped for notification.
+    resent_logs: List[LogEntry] = field(default_factory=list)
+    #: Phases of entries in ``resent_logs`` not yet released.
+    pending_log_phases: Set[int] = field(default_factory=set)
+    #: Phases of orphan messages this rank reported to the recovery process.
+    orphan_phases: List[int] = field(default_factory=list)
+    #: Gate blocking this rank's application sends until the recovery process
+    #: sends NotifySendMsg (and, for rolled back ranks, until every LastDate
+    #: answer arrived).  ``None`` means the rank is not gated.
+    send_gate: Optional[Condition] = None
+    #: Set once NotifySendMsg for this rank's phase has been received.
+    notify_send_received: bool = False
+    #: Phase this rank reported to the recovery process (OwnPhase).
+    own_phase_reported: Optional[int] = None
+
+    def gate_open(self) -> bool:
+        """The rank may send application messages again."""
+        if not self.notify_send_received:
+            return False
+        if self.rolled_back and self.awaiting_lastdate_from:
+            return False
+        return True
+
+
+@dataclass
+class HydEERankState:
+    """Durable per-rank protocol state (Algorithm 1 local variables)."""
+
+    rank: int
+    cluster: int
+    clock: PhaseClock = field(default_factory=PhaseClock)
+    rpp: RPPTable = field(default_factory=RPPTable)
+    log: SenderLog = field(default_factory=SenderLog)
+    recovery: Optional[RecoveryRankState] = None
+
+    # ------------------------------------------------------------ checkpoints
+    def checkpoint_payload(self) -> Dict[str, Any]:
+        """State saved with a checkpoint (Algorithm 1 line 21)."""
+        return {
+            "clock": self.clock.snapshot(),
+            "rpp": self.rpp.snapshot(),
+            "log": self.log.snapshot(),
+        }
+
+    def restore(self, payload: Optional[Dict[str, Any]]) -> None:
+        """Restore from a checkpoint payload; ``None`` resets to initial state."""
+        if payload is None:
+            self.clock = PhaseClock()
+            self.rpp = RPPTable()
+            self.log = SenderLog()
+        else:
+            self.clock = PhaseClock.from_snapshot(payload["clock"])
+            self.rpp = RPPTable.from_snapshot(payload["rpp"])
+            self.log = SenderLog.from_snapshot(payload["log"])
+        self.recovery = None
+
+    # -------------------------------------------------------------- recovery
+    def begin_recovery(self, rolled_back: bool) -> RecoveryRankState:
+        self.recovery = RecoveryRankState(rolled_back=rolled_back)
+        return self.recovery
+
+    def end_recovery(self) -> None:
+        self.recovery = None
+
+    @property
+    def in_recovery(self) -> bool:
+        return self.recovery is not None
+
+    def log_memory_bytes(self) -> int:
+        return self.log.current_bytes

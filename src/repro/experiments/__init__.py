@@ -1,0 +1,33 @@
+"""Runnable experiment entry points, one per paper table/figure plus ablations.
+
+Each module exposes a ``run(...)`` function returning plain data and a
+``main()`` that prints the corresponding table; run them as::
+
+    python -m repro.experiments.table1
+    python -m repro.experiments.figure5
+    python -m repro.experiments.figure6 --nprocs 64 --iterations 2
+    python -m repro.experiments.recovery_containment
+    python -m repro.experiments.ablation_piggyback
+    python -m repro.experiments.ablation_clusters
+
+Full-scale (256-rank) runs are selected with ``--full`` where relevant; the
+defaults are sized to finish in seconds on a laptop.
+"""
+
+from repro.experiments import (  # noqa: F401  (re-exported for convenience)
+    ablation_clusters,
+    ablation_piggyback,
+    figure5,
+    figure6,
+    recovery_containment,
+    table1,
+)
+
+__all__ = [
+    "table1",
+    "figure5",
+    "figure6",
+    "recovery_containment",
+    "ablation_piggyback",
+    "ablation_clusters",
+]

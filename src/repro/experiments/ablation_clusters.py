@@ -1,0 +1,66 @@
+"""Ablation E6: cluster-count sweep (rollback vs logged-volume frontier).
+
+The trade-off the clustering tool optimises (Section V-B, [28]): more
+clusters mean a smaller rollback after a failure but more inter-cluster
+traffic to log.  This ablation sweeps the number of clusters for each NAS
+benchmark and prints the frontier.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.reporting import format_table
+from repro.clustering.comm_graph import CommunicationGraph
+from repro.clustering.partitioner import sweep_cluster_counts
+from repro.workloads.nas import NAS_BENCHMARKS
+
+
+def run(
+    benchmark: str = "bt",
+    nprocs: int = 256,
+    counts: Optional[Sequence[int]] = None,
+) -> List[Dict[str, float]]:
+    counts = list(counts) if counts is not None else [2, 4, 8, 16, 32]
+    counts = [k for k in counts if k <= nprocs]
+    app = NAS_BENCHMARKS[benchmark.lower()](nprocs=nprocs, iterations=1)
+    graph = CommunicationGraph.from_matrix(app.full_run_matrix())
+    results = sweep_cluster_counts(graph, counts)
+    rows = []
+    for result in results:
+        metrics = result.metrics
+        rows.append(
+            {
+                "clusters": metrics.num_clusters,
+                "rollback_pct": round(100.0 * metrics.rollback_fraction, 2),
+                "logged_pct": round(100.0 * metrics.logged_fraction, 2),
+                "logged_gb": round(metrics.logged_bytes / 1e9, 1),
+                "method": result.method,
+            }
+        )
+    return rows
+
+
+def render(benchmark: str, rows: Sequence[Dict[str, float]]) -> str:
+    columns = ["clusters", "rollback_pct", "logged_pct", "logged_gb", "method"]
+    data = [[row[c] for c in columns] for row in rows]
+    return format_table(
+        columns, data,
+        title=f"Cluster-count sweep for {benchmark.upper()} (rollback vs logged volume)",
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmark", default="bt", choices=sorted(NAS_BENCHMARKS))
+    parser.add_argument("--nprocs", type=int, default=256)
+    parser.add_argument("--counts", type=int, nargs="*", default=None)
+    args = parser.parse_args(argv)
+    rows = run(benchmark=args.benchmark, nprocs=args.nprocs, counts=args.counts)
+    print(render(args.benchmark, rows))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,68 @@
+"""Ablation E5: piggyback policy and logging cost decomposition.
+
+Section V-A describes the prototype's hybrid piggybacking rule (inline below
+1 KiB, separate message above).  This ablation measures the ping-pong latency
+overhead of each policy in isolation, and with/without sender-based logging,
+to show where the two Figure 5 peaks come from and why the logging memcpy is
+invisible.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.perf_model import message_cost
+from repro.analysis.reporting import format_table
+from repro.simulator.network import MyrinetMXModel, NetworkModel, PiggybackPolicy, netpipe_sizes
+
+
+def run(
+    sizes: Optional[Sequence[int]] = None,
+    network: Optional[NetworkModel] = None,
+    piggyback_bytes: int = 12,
+) -> List[Dict[str, float]]:
+    """Overhead (in % of the native one-way time) per policy and per size."""
+    network = network or MyrinetMXModel()
+    sizes = list(sizes) if sizes is not None else [s for s in netpipe_sizes(1 << 20)]
+    rows: List[Dict[str, float]] = []
+    for size in sizes:
+        row: Dict[str, float] = {"bytes": float(size)}
+        for policy in (
+            PiggybackPolicy.NONE,
+            PiggybackPolicy.INLINE,
+            PiggybackPolicy.SEPARATE,
+            PiggybackPolicy.INLINE_SMALL_SEPARATE_LARGE,
+        ):
+            cost = message_cost(network, size, piggyback_bytes, policy, logging=False)
+            row[f"{policy.value}_pct"] = 100.0 * cost.overhead_fraction
+        logged = message_cost(
+            network, size, piggyback_bytes,
+            PiggybackPolicy.INLINE_SMALL_SEPARATE_LARGE, logging=True,
+        )
+        row["logging_extra_pct"] = 100.0 * logged.overhead_fraction - row[
+            f"{PiggybackPolicy.INLINE_SMALL_SEPARATE_LARGE.value}_pct"
+        ]
+        rows.append(row)
+    return rows
+
+
+def render(rows: Sequence[Dict[str, float]]) -> str:
+    columns = list(rows[0].keys()) if rows else []
+    data = [[round(row[c], 3) for c in columns] for row in rows]
+    return format_table(
+        columns, data,
+        title="Piggyback policy ablation -- one-way overhead vs native (percent)",
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--piggyback-bytes", type=int, default=12)
+    args = parser.parse_args(argv)
+    print(render(run(piggyback_bytes=args.piggyback_bytes)))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

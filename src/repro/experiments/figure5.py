@@ -1,0 +1,61 @@
+"""Experiment E2: Figure 5 -- NetPIPE ping-pong latency/bandwidth degradation."""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from repro.analysis.netpipe_analysis import (
+    NetpipeResult,
+    analytic_netpipe_experiment,
+    run_netpipe_experiment,
+)
+from repro.analysis.reporting import format_series
+from repro.simulator.network import netpipe_sizes
+
+
+def run(
+    max_bytes: int = 8 * 1024 * 1024,
+    repeats: int = 3,
+    sizes: Optional[Sequence[int]] = None,
+) -> NetpipeResult:
+    """Run the simulated ping-pong sweep (native / HydEE no-log / HydEE log)."""
+    sizes = list(sizes) if sizes is not None else list(netpipe_sizes(max_bytes))
+    return run_netpipe_experiment(sizes=sizes, repeats=repeats)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--max-bytes", type=int, default=8 * 1024 * 1024,
+                        help="largest ping-pong message (paper: 8 MiB)")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--analytic", action="store_true",
+                        help="also print the closed-form model prediction")
+    args = parser.parse_args(argv)
+
+    result = run(max_bytes=args.max_bytes, repeats=args.repeats)
+    print(result.as_text())
+
+    if args.analytic:
+        model = analytic_netpipe_experiment(sizes=result.sizes)
+        print()
+        print(
+            format_series(
+                "bytes",
+                result.sizes,
+                {
+                    "model lat% no-log": [
+                        round(v, 2) for v in model["latency_reduction_no_logging_pct"]
+                    ],
+                    "model lat% log": [
+                        round(v, 2) for v in model["latency_reduction_logging_pct"]
+                    ],
+                },
+                title="Closed-form model prediction (cross-check)",
+            )
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,61 @@
+"""Experiment E3: Figure 6 -- NAS failure-free overhead (normalized time)."""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from repro.analysis.overhead import OverheadRow, build_figure6, render_figure6
+from repro.clustering.presets import FIGURE6_PAPER_OVERHEAD
+
+
+def run(
+    benchmarks: Optional[Sequence[str]] = None,
+    nprocs: int = 64,
+    iterations: int = 2,
+    include_hybrid_event_logging: bool = False,
+) -> List[OverheadRow]:
+    """Measure the normalized execution time of the Figure 6 configurations.
+
+    The paper uses 256 processes; the default here is 64 so the experiment
+    completes in seconds (pass ``--full`` / ``nprocs=256`` for the paper
+    scale -- the FT all-to-all then dominates the runtime).
+    """
+    return build_figure6(
+        benchmarks=benchmarks,
+        nprocs=nprocs,
+        iterations=iterations,
+        include_hybrid_event_logging=include_hybrid_event_logging,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nprocs", type=int, default=64)
+    parser.add_argument("--iterations", type=int, default=2)
+    parser.add_argument("--full", action="store_true",
+                        help="use the paper's 256 processes")
+    parser.add_argument("--benchmarks", nargs="*", default=None)
+    parser.add_argument("--hybrid", action="store_true",
+                        help="also measure the hybrid protocol with event logging")
+    args = parser.parse_args(argv)
+    nprocs = 256 if args.full else args.nprocs
+    rows = run(
+        benchmarks=args.benchmarks,
+        nprocs=nprocs,
+        iterations=args.iterations,
+        include_hybrid_event_logging=args.hybrid,
+    )
+    print(render_figure6(rows))
+    print()
+    print("Paper reference points (normalized time read off Figure 6):")
+    for name, values in FIGURE6_PAPER_OVERHEAD.items():
+        print(
+            f"  {name.upper():3s}: message logging ~{values['message_logging']:.3f}, "
+            f"HydEE ~{values['hydee']:.3f}"
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

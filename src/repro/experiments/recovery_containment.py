@@ -1,0 +1,61 @@
+"""Experiment E4: failure containment and recovery correctness.
+
+Injects the same failure under HydEE, global coordinated checkpointing and
+full message logging, and reports who rolls back, what is replayed, and
+whether the recovered execution matches the failure-free reference (the
+functional claims of Sections III-IV).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from repro.analysis.containment import (
+    ContainmentRow,
+    render_containment,
+    run_containment_experiment,
+)
+
+
+def run(
+    nprocs: int = 16,
+    iterations: int = 8,
+    failed_ranks: Sequence[int] = (5,),
+    fail_at_iteration: int = 5,
+    num_clusters: int = 4,
+    checkpoint_interval: int = 2,
+) -> List[ContainmentRow]:
+    return run_containment_experiment(
+        nprocs=nprocs,
+        iterations=iterations,
+        failed_ranks=failed_ranks,
+        fail_at_iteration=fail_at_iteration,
+        num_clusters=num_clusters,
+        checkpoint_interval=checkpoint_interval,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nprocs", type=int, default=16)
+    parser.add_argument("--iterations", type=int, default=8)
+    parser.add_argument("--fail-ranks", type=int, nargs="+", default=[5])
+    parser.add_argument("--fail-at-iteration", type=int, default=5)
+    parser.add_argument("--clusters", type=int, default=4)
+    parser.add_argument("--checkpoint-interval", type=int, default=2)
+    args = parser.parse_args(argv)
+    rows = run(
+        nprocs=args.nprocs,
+        iterations=args.iterations,
+        failed_ranks=args.fail_ranks,
+        fail_at_iteration=args.fail_at_iteration,
+        num_clusters=args.clusters,
+        checkpoint_interval=args.checkpoint_interval,
+    )
+    print(render_containment(rows))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

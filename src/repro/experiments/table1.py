@@ -1,0 +1,36 @@
+"""Experiment E1: Table I -- application clustering on 256 processes."""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from repro.analysis.table1 import Table1Row, build_table1, render_table1
+
+
+def run(
+    benchmarks: Optional[Sequence[str]] = None,
+    nprocs: int = 256,
+    balance_tolerance: float = 1.1,
+) -> List[Table1Row]:
+    """Compute the Table I rows (analytic communication graphs + partitioner)."""
+    return build_table1(benchmarks=benchmarks, nprocs=nprocs,
+                        balance_tolerance=balance_tolerance)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nprocs", type=int, default=256,
+                        help="number of processes (paper: 256)")
+    parser.add_argument("--benchmarks", nargs="*", default=None,
+                        help="subset of NAS benchmarks (default: all six)")
+    parser.add_argument("--balance-tolerance", type=float, default=1.1)
+    args = parser.parse_args(argv)
+    rows = run(benchmarks=args.benchmarks, nprocs=args.nprocs,
+               balance_tolerance=args.balance_tolerance)
+    print(render_table1(rows))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,85 @@
+"""Baseline fault-tolerance protocols.
+
+These are the comparison points used in the paper's evaluation and related
+work discussion:
+
+* :class:`repro.ftprotocols.no_ft.NoFaultToleranceProtocol` -- native MPICH2
+  (no piggybacking, no logging, no checkpoints); the reference for Figures 5
+  and 6.
+* :class:`repro.ftprotocols.coordinated.CoordinatedCheckpointProtocol` --
+  global coordinated checkpointing; every rank rolls back after any failure.
+* :class:`repro.ftprotocols.message_logging.FullMessageLoggingProtocol` --
+  pessimistic sender-based message logging of *all* messages with reliable
+  determinant (event) logging; perfect containment, high overhead.
+* :class:`repro.ftprotocols.hybrid_event_logging.HybridEventLoggingProtocol`
+  -- cluster-based hybrid protocol in the piecewise-deterministic model
+  ([8], [22], [32]): coordinated checkpoints inside clusters, message logging
+  between clusters, *plus* reliable event logging of every delivery.
+
+HydEE itself lives in :mod:`repro.core.protocol`.
+
+Attributes are resolved lazily (PEP 562) because
+:class:`HybridEventLoggingProtocol` subclasses HydEE, whose module in turn
+imports the shared :mod:`repro.ftprotocols.base` machinery; lazy resolution
+keeps that dependency acyclic regardless of which package is imported first.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+__all__ = [
+    "ClusteredProtocolBase",
+    "ProtocolStatistics",
+    "NoFaultToleranceProtocol",
+    "CoordinatedCheckpointProtocol",
+    "FullMessageLoggingProtocol",
+    "HybridEventLoggingProtocol",
+    "available_protocols",
+    "make_protocol",
+]
+
+_EXPORTS = {
+    "ClusteredProtocolBase": ("repro.ftprotocols.base", "ClusteredProtocolBase"),
+    "ProtocolStatistics": ("repro.ftprotocols.base", "ProtocolStatistics"),
+    "NoFaultToleranceProtocol": ("repro.ftprotocols.no_ft", "NoFaultToleranceProtocol"),
+    "CoordinatedCheckpointProtocol": (
+        "repro.ftprotocols.coordinated",
+        "CoordinatedCheckpointProtocol",
+    ),
+    "FullMessageLoggingProtocol": (
+        "repro.ftprotocols.message_logging",
+        "FullMessageLoggingProtocol",
+    ),
+    "HybridEventLoggingProtocol": (
+        "repro.ftprotocols.hybrid_event_logging",
+        "HybridEventLoggingProtocol",
+    ),
+    "available_protocols": ("repro.ftprotocols.registry", "available_protocols"),
+    "make_protocol": ("repro.ftprotocols.registry", "make_protocol"),
+}
+
+if TYPE_CHECKING:  # pragma: no cover - static typing only
+    from repro.ftprotocols.base import ClusteredProtocolBase, ProtocolStatistics
+    from repro.ftprotocols.coordinated import CoordinatedCheckpointProtocol
+    from repro.ftprotocols.hybrid_event_logging import HybridEventLoggingProtocol
+    from repro.ftprotocols.message_logging import FullMessageLoggingProtocol
+    from repro.ftprotocols.no_ft import NoFaultToleranceProtocol
+    from repro.ftprotocols.registry import available_protocols, make_protocol
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro.ftprotocols' has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, attr)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,222 @@
+"""Collective operations implemented over point-to-point messages.
+
+The paper's protocols operate at the message level, so collectives must be
+decomposed into the point-to-point messages that actually cross the network;
+that is how an ``MPI_Alltoall`` in the FT benchmark ends up dominating the
+inter-cluster logged volume in Table I.
+
+Algorithms (standard MPICH-style choices):
+
+* ``barrier``    -- dissemination barrier, ``ceil(log2 p)`` rounds;
+* ``bcast``      -- binomial tree;
+* ``reduce``     -- binomial tree (commutative/associative ``op`` assumed);
+* ``allreduce``  -- reduce to rank 0 followed by a broadcast;
+* ``gather``     -- linear gather with posted receives;
+* ``allgather``  -- gather followed by a broadcast of the assembled vector;
+* ``scatter``    -- linear scatter;
+* ``alltoall``   -- pairwise exchange (p-1 rounds of sendrecv), which
+  produces the full all-pairs communication pattern.
+
+All collectives are *send-deterministic*: the messages each rank sends depend
+only on its input value and rank, never on the arrival order of other
+messages, so they compose safely with HydEE (Section II-C of the paper notes
+that collectives in send-deterministic applications behave this way).
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.errors import InvalidOperationError
+from repro.simulator.messages import ANY_TAG
+
+#: Base of the reserved tag space used by collective-internal messages.
+COLLECTIVE_TAG_BASE = 1 << 20
+
+#: Wire size of the small service messages used by barrier.
+_BARRIER_BYTES = 4
+
+
+def _block_size(comm, value: Any, size_bytes: Optional[int]) -> int:
+    if size_bytes is not None:
+        return int(size_bytes)
+    from repro.simulator.communicator import _default_size
+
+    return _default_size(value)
+
+
+def barrier(comm):
+    """Dissemination barrier."""
+    size = comm.size
+    if size == 1:
+        return None
+    tag = comm._next_collective_tag()
+    rank = comm.rank
+    step = 1
+    while step < size:
+        dest = (rank + step) % size
+        source = (rank - step) % size
+        rreq = comm.irecv(source=source, tag=tag)
+        sreq = comm.isend(dest, payload=("barrier", step), tag=tag, size_bytes=_BARRIER_BYTES)
+        yield from comm.waitall([sreq, rreq])
+        step <<= 1
+    return None
+
+
+def bcast(comm, value: Any, root: int = 0, size_bytes: Optional[int] = None):
+    """Binomial-tree broadcast.  Every rank returns the broadcast value."""
+    size = comm.size
+    rank = comm.rank
+    if not (0 <= root < size):
+        raise InvalidOperationError(f"bcast root {root} out of range")
+    if size == 1:
+        return value
+    tag = comm._next_collective_tag()
+    relrank = (rank - root) % size
+    nbytes = _block_size(comm, value, size_bytes)
+
+    mask = 1
+    while mask < size:
+        if relrank & mask:
+            source = ((relrank - mask) + root) % size
+            message = yield from comm.recv(source=source, tag=tag)
+            value = message.payload
+            nbytes = message.size_bytes
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        if relrank + mask < size:
+            dest = (relrank + mask + root) % size
+            yield from comm.send(dest, payload=value, tag=tag, size_bytes=nbytes)
+        mask >>= 1
+    return value
+
+
+def reduce(
+    comm,
+    value: Any,
+    op: Optional[Callable[[Any, Any], Any]] = None,
+    root: int = 0,
+    size_bytes: Optional[int] = None,
+):
+    """Binomial-tree reduction; the root returns the reduced value, others None."""
+    size = comm.size
+    rank = comm.rank
+    if not (0 <= root < size):
+        raise InvalidOperationError(f"reduce root {root} out of range")
+    op = operator.add if op is None else op
+    if size == 1:
+        return value
+    tag = comm._next_collective_tag()
+    relrank = (rank - root) % size
+    nbytes = _block_size(comm, value, size_bytes)
+    result = value
+
+    mask = 1
+    while mask < size:
+        if relrank & mask == 0:
+            src_rel = relrank | mask
+            if src_rel < size:
+                source = (src_rel + root) % size
+                message = yield from comm.recv(source=source, tag=tag)
+                result = op(result, message.payload)
+        else:
+            dest = ((relrank & ~mask) + root) % size
+            yield from comm.send(dest, payload=result, tag=tag, size_bytes=nbytes)
+            break
+        mask <<= 1
+    return result if rank == root else None
+
+
+def allreduce(
+    comm,
+    value: Any,
+    op: Optional[Callable[[Any, Any], Any]] = None,
+    size_bytes: Optional[int] = None,
+):
+    """Allreduce implemented as reduce-to-zero followed by broadcast."""
+    reduced = yield from reduce(comm, value, op=op, root=0, size_bytes=size_bytes)
+    result = yield from bcast(comm, reduced, root=0, size_bytes=size_bytes)
+    return result
+
+
+def gather(comm, value: Any, root: int = 0, size_bytes: Optional[int] = None):
+    """Linear gather; the root returns the list indexed by rank, others None."""
+    size = comm.size
+    rank = comm.rank
+    if not (0 <= root < size):
+        raise InvalidOperationError(f"gather root {root} out of range")
+    tag = comm._next_collective_tag()
+    nbytes = _block_size(comm, value, size_bytes)
+    if rank != root:
+        yield from comm.send(root, payload=value, tag=tag, size_bytes=nbytes)
+        return None
+    values: List[Any] = [None] * size
+    values[root] = value
+    requests = []
+    sources = [r for r in range(size) if r != root]
+    for source in sources:
+        requests.append(comm.irecv(source=source, tag=tag))
+    messages = yield from comm.waitall(requests)
+    for source, message in zip(sources, messages):
+        values[source] = message.payload
+    return values
+
+
+def allgather(comm, value: Any, size_bytes: Optional[int] = None):
+    """Allgather as gather + bcast of the assembled vector."""
+    size = comm.size
+    nbytes = _block_size(comm, value, size_bytes)
+    gathered = yield from gather(comm, value, root=0, size_bytes=nbytes)
+    result = yield from bcast(comm, gathered, root=0, size_bytes=nbytes * size)
+    return result
+
+
+def scatter(
+    comm, values: Optional[Sequence[Any]], root: int = 0, size_bytes: Optional[int] = None
+):
+    """Linear scatter; every rank returns its element of the root's sequence."""
+    size = comm.size
+    rank = comm.rank
+    if not (0 <= root < size):
+        raise InvalidOperationError(f"scatter root {root} out of range")
+    tag = comm._next_collective_tag()
+    if rank == root:
+        if values is None or len(values) != size:
+            raise InvalidOperationError(
+                f"scatter root needs a sequence of exactly {size} values"
+            )
+        nbytes = _block_size(comm, values[0], size_bytes)
+        for dest in range(size):
+            if dest == root:
+                continue
+            yield from comm.send(dest, payload=values[dest], tag=tag, size_bytes=nbytes)
+        return values[root]
+    message = yield from comm.recv(source=root, tag=tag)
+    return message.payload
+
+
+def alltoall(comm, values: Sequence[Any], size_bytes: Optional[int] = None):
+    """Pairwise-exchange all-to-all.
+
+    ``values[d]`` is the block destined to rank ``d``; the returned list's
+    element ``s`` is the block received from rank ``s``.
+    """
+    size = comm.size
+    rank = comm.rank
+    if len(values) != size:
+        raise InvalidOperationError(f"alltoall needs exactly {size} blocks, got {len(values)}")
+    tag = comm._next_collective_tag()
+    nbytes = _block_size(comm, values[0], size_bytes)
+    received: List[Any] = [None] * size
+    received[rank] = values[rank]
+    for step in range(1, size):
+        dest = (rank + step) % size
+        source = (rank - step) % size
+        message = yield from comm.sendrecv(
+            dest, values[dest], source=source, tag=tag, size_bytes=nbytes
+        )
+        received[source] = message.payload
+    return received

@@ -1,0 +1,190 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine is a classic time-ordered event queue.  All behaviour of the
+substrate (message transfers, compute delays, protocol control traffic,
+failures) is expressed as callbacks scheduled at absolute simulation times.
+Ties are broken by a monotonically increasing sequence number so that two
+runs with identical inputs execute events in exactly the same order, which is
+what makes the replay/recovery comparisons in the test-suite meaningful.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: Tuple[Any, ...] = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`SimulationEngine.schedule`; allows cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+
+class SimulationEngine:
+    """Time-ordered event queue with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._queue: List[_ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._now: float = 0.0
+        self._events_processed: int = 0
+        self._running = False
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    # ------------------------------------------------------------ scheduling
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulation ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event at t={time} before current time t={self._now}"
+            )
+        event = _ScheduledEvent(time=time, seq=next(self._seq), callback=callback, args=args)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    # --------------------------------------------------------------- running
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(
+        self,
+        until_time: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stop_predicate: Optional[Callable[[], bool]] = None,
+    ) -> str:
+        """Run events until exhaustion or a bound is reached.
+
+        Returns one of ``"empty"``, ``"until_time"``, ``"max_events"`` or
+        ``"stopped"`` describing why the loop ended.
+        """
+        self._running = True
+        processed = 0
+        try:
+            while True:
+                if stop_predicate is not None and stop_predicate():
+                    return "stopped"
+                if max_events is not None and processed >= max_events:
+                    return "max_events"
+                if not self._queue:
+                    return "empty"
+                next_time = self._peek_time()
+                if until_time is not None and next_time is not None and next_time > until_time:
+                    self._now = until_time
+                    return "until_time"
+                if not self.step():
+                    return "empty"
+                processed += 1
+        finally:
+            self._running = False
+
+    def _peek_time(self) -> Optional[float]:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+
+class Condition:
+    """A one-shot or multi-shot synchronisation point.
+
+    Protocol code fires conditions to release ranks that are blocked on
+    :class:`repro.simulator.ops.WaitConditionOp` (e.g. HydEE's
+    ``NotifySendMsg`` gate, Algorithm 2 line 8 / Algorithm 3 line 18) and to
+    wake internal continuations (deferred sends).
+    """
+
+    __slots__ = ("name", "_fired", "_value", "_waiters")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._fired = False
+        self._value: Any = None
+        self._waiters: List[Callable[[Any], None]] = []
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def add_waiter(self, callback: Callable[[Any], None]) -> None:
+        """Register ``callback(value)``; invoked immediately if already fired."""
+        if self._fired:
+            callback(self._value)
+        else:
+            self._waiters.append(callback)
+
+    def fire(self, value: Any = None) -> None:
+        """Fire the condition, waking every waiter exactly once."""
+        if self._fired:
+            return
+        self._fired = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for callback in waiters:
+            callback(value)
+
+    def reset(self) -> None:
+        """Re-arm the condition (waiters registered before reset are gone)."""
+        self._fired = False
+        self._value = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = "fired" if self._fired else f"pending({len(self._waiters)} waiters)"
+        return f"Condition({self.name!r}, {state})"

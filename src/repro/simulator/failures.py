@@ -1,0 +1,116 @@
+"""Fail-stop failure injection.
+
+The paper's failure model (Section II-A) is fail-stop with possibly multiple
+concurrent failures.  The injector supports scheduling failures
+
+* at an absolute simulation time,
+* when a rank completes a given application iteration,
+* as a group (several ranks failing at the same instant, e.g. a node or a
+  whole cluster), which is how the "multiple concurrent failures" experiments
+  are expressed.
+
+When a failure fires, the injector notifies the attached protocol through
+:meth:`repro.simulator.protocol_api.ProtocolHooks.on_failure`; the protocol is
+responsible for rolling back the appropriate ranks (for HydEE: the failed
+processes' clusters only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Set
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulator.simulation import Simulation
+
+
+@dataclass
+class FailureEvent:
+    """Specification of one failure to inject.
+
+    Exactly one of ``time`` or ``(rank_trigger, at_iteration)`` must be set.
+
+    Attributes
+    ----------
+    ranks:
+        Ranks that fail together (concurrently).
+    time:
+        Absolute simulation time of the failure.
+    at_iteration:
+        Fire when ``rank_trigger`` (defaults to the first rank of ``ranks``)
+        completes this iteration.
+    """
+
+    ranks: Sequence[int]
+    time: Optional[float] = None
+    at_iteration: Optional[int] = None
+    rank_trigger: Optional[int] = None
+    fired: bool = field(default=False, init=False)
+
+    def __post_init__(self) -> None:
+        if not self.ranks:
+            raise ConfigurationError("a failure event needs at least one rank")
+        if (self.time is None) == (self.at_iteration is None):
+            raise ConfigurationError(
+                "specify exactly one of `time` or `at_iteration` for a failure event"
+            )
+        if self.rank_trigger is None:
+            self.rank_trigger = self.ranks[0]
+
+
+class FailureInjector:
+    """Schedules and fires :class:`FailureEvent` objects."""
+
+    def __init__(self, events: Optional[Iterable[FailureEvent]] = None) -> None:
+        self.events: List[FailureEvent] = list(events or [])
+        self._sim: Optional["Simulation"] = None
+        self.failed_ranks: Set[int] = set()
+        self.failure_times: List[float] = []
+
+    def add(self, event: FailureEvent) -> None:
+        self.events.append(event)
+
+    # ------------------------------------------------------------------ wiring
+    def attach(self, sim: "Simulation") -> None:
+        self._sim = sim
+        for event in self.events:
+            if event.time is not None:
+                sim.engine.schedule_at(event.time, self._fire, event)
+
+    def on_iteration_completed(self, rank: int, iteration: int) -> None:
+        """Called by the rank driver after each completed iteration."""
+        if self._sim is None:
+            return
+        for event in self.events:
+            if (
+                not event.fired
+                and event.at_iteration is not None
+                and event.rank_trigger == rank
+                and iteration >= event.at_iteration
+            ):
+                # Fire "now" (schedule with zero delay so the failing rank has
+                # fully returned from its iteration first).
+                self._sim.engine.schedule(0.0, self._fire, event)
+                event.fired = True
+
+    # ------------------------------------------------------------------ firing
+    def _fire(self, event: FailureEvent) -> None:
+        if self._sim is None:
+            return
+        if event.time is not None and event.fired:
+            return
+        event.fired = True
+        alive = [r for r in event.ranks if r not in self.failed_ranks]
+        if not alive:
+            return
+        now = self._sim.engine.now
+        self.failure_times.append(now)
+        self.failed_ranks.update(alive)
+        self._sim.kill_ranks(alive)
+        self._sim.protocol.on_failure(alive, now)
+
+    @property
+    def any_failure_injected(self) -> bool:
+        return bool(self.failure_times)

@@ -1,0 +1,137 @@
+"""Operation descriptors yielded by application coroutines.
+
+An application rank is a Python generator.  Blocking operations are expressed
+by yielding one of the descriptors below (via the :class:`Communicator`
+helpers, which are themselves generator functions so that application code
+uniformly writes ``yield from comm.recv(...)``).  The rank driver
+(:class:`repro.simulator.process.RankProcess`) interprets the descriptor,
+blocks the rank if necessary and resumes the generator with the operation's
+result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence
+
+from repro.simulator.engine import Condition
+from repro.simulator.messages import ANY_SOURCE, ANY_TAG
+from repro.simulator.requests import Request
+
+
+class Operation:
+    """Marker base class for yieldable operations."""
+
+    __slots__ = ()
+
+
+@dataclass
+class SendOp(Operation):
+    """Blocking send of ``size_bytes`` to ``dest`` with matching ``tag``."""
+
+    dest: int
+    payload: Any
+    tag: int = 0
+    size_bytes: int = 0
+    collective: bool = False
+
+
+@dataclass
+class RecvOp(Operation):
+    """Blocking receive matching ``(source, tag)`` (wildcards allowed)."""
+
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+
+
+@dataclass
+class IsendOp(Operation):
+    """Non-blocking send; the driver resumes immediately with a Request."""
+
+    dest: int
+    payload: Any
+    tag: int = 0
+    size_bytes: int = 0
+    collective: bool = False
+
+
+@dataclass
+class IrecvOp(Operation):
+    """Non-blocking receive post; the driver resumes immediately with a Request."""
+
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+
+
+@dataclass
+class WaitOp(Operation):
+    """Wait for request completion.
+
+    ``mode`` is one of ``"all"`` (default, resumes with the list of completion
+    values), ``"any"`` (resumes with ``(index, value)``) and ``"one"``
+    (single request, resumes with its value).
+    """
+
+    requests: Sequence[Request] = field(default_factory=list)
+    mode: str = "all"
+
+
+@dataclass
+class ComputeOp(Operation):
+    """Local computation taking ``seconds`` of simulated time."""
+
+    seconds: float
+    flops: Optional[float] = None
+
+
+@dataclass
+class WaitConditionOp(Operation):
+    """Block until a :class:`Condition` fires; resumes with the fired value."""
+
+    condition: Condition
+
+
+@dataclass
+class CheckpointOp(Operation):
+    """Explicit request by the application to take a checkpoint now.
+
+    Most experiments use protocol-driven checkpoints at iteration boundaries;
+    this operation exists for applications that want to force one.
+    """
+
+    label: str = ""
+
+
+@dataclass
+class LocalEventOp(Operation):
+    """A purely local event (used by tests to exercise the event model)."""
+
+    name: str = "local"
+    data: Any = None
+
+
+#: Operations that the driver treats as communication for statistics purposes.
+COMMUNICATION_OPS = (SendOp, RecvOp, IsendOp, IrecvOp, WaitOp)
+
+
+def describe(op: Operation) -> str:
+    """Short human-readable description of an operation (used in deadlock dumps)."""
+    if isinstance(op, SendOp):
+        return f"send(dest={op.dest}, tag={op.tag}, {op.size_bytes}B)"
+    if isinstance(op, RecvOp):
+        return f"recv(source={op.source}, tag={op.tag})"
+    if isinstance(op, IsendOp):
+        return f"isend(dest={op.dest}, tag={op.tag}, {op.size_bytes}B)"
+    if isinstance(op, IrecvOp):
+        return f"irecv(source={op.source}, tag={op.tag})"
+    if isinstance(op, WaitOp):
+        return f"wait(mode={op.mode}, n={len(op.requests)})"
+    if isinstance(op, ComputeOp):
+        return f"compute({op.seconds:.3g}s)"
+    if isinstance(op, WaitConditionOp):
+        return f"wait_condition({op.condition.name})"
+    if isinstance(op, CheckpointOp):
+        return f"checkpoint({op.label})"
+    if isinstance(op, LocalEventOp):
+        return f"local_event({op.name})"
+    return repr(op)

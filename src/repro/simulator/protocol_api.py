@@ -1,0 +1,207 @@
+"""Interface between the simulation substrate and fault-tolerance protocols.
+
+The simulator knows nothing about HydEE, checkpointing or message logging; it
+only exposes *hooks* that a protocol implements.  This mirrors the structure
+of the paper's prototype, which plugs into the nemesis channel layer of
+MPICH2: the protocol sees every message send and delivery, may piggyback
+metadata, may charge extra sender-side CPU time (payload memcpy for
+sender-based logging), and during recovery may defer or suppress application
+sends (orphan messages, phase gating).
+
+The concrete protocols live in :mod:`repro.ftprotocols` and
+:mod:`repro.core.protocol` (HydEE itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING, Any, Dict, Iterable, Optional
+
+from repro.simulator.engine import Condition
+from repro.simulator.messages import Message
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulator.simulation import Simulation
+
+
+class SendAction(Enum):
+    """What the protocol wants the substrate to do with an application send."""
+
+    #: Transmit the message normally.
+    SEND = "send"
+    #: Do not transmit: the message is an orphan being regenerated during
+    #: recovery; the sender's state advances as if it had been sent
+    #: (Algorithm 2, lines 13-15 of the paper).
+    SUPPRESS = "suppress"
+    #: Hold the message until ``condition`` fires, then ask the protocol again.
+    DEFER = "defer"
+
+
+@dataclass
+class SendDecision:
+    """Outcome of :meth:`ProtocolHooks.on_app_send`."""
+
+    action: SendAction = SendAction.SEND
+    #: Condition to wait on when ``action`` is DEFER.
+    condition: Optional[Condition] = None
+    #: Extra sender-side CPU time charged by the protocol (e.g. log memcpy,
+    #: separate piggyback message latency).
+    extra_cpu_time: float = 0.0
+
+    @classmethod
+    def send(cls, extra_cpu_time: float = 0.0) -> "SendDecision":
+        return cls(SendAction.SEND, None, extra_cpu_time)
+
+    @classmethod
+    def suppress(cls) -> "SendDecision":
+        return cls(SendAction.SUPPRESS, None, 0.0)
+
+    @classmethod
+    def defer(cls, condition: Condition) -> "SendDecision":
+        return cls(SendAction.DEFER, condition, 0.0)
+
+
+class ProtocolHooks:
+    """No-op protocol: native execution without fault tolerance.
+
+    Every method has a default implementation so that protocols only override
+    what they need.  The hook call sites are:
+
+    ``attach``
+        called once by :class:`repro.simulator.simulation.Simulation` after
+        all ranks are created.
+    ``on_app_send``
+        called for every application/collective message before it enters the
+        network; may mutate ``message.piggyback`` / ``piggyback_bytes``.
+    ``on_app_deliver``
+        called when a message is matched to the receiving application.
+    ``on_iteration_boundary``
+        called by the rank driver after each completed application iteration;
+        may return a generator to be executed inline by the rank (used for
+        coordinated checkpointing).
+    ``on_failure``
+        called by the failure injector with the set of failed ranks.
+    ``on_rank_restarted`` / ``on_rank_done``
+        lifecycle notifications.
+    ``recovery_in_progress``
+        consulted by the deadlock detector: while recovery is active a
+        momentarily empty event queue is not necessarily a deadlock.
+    """
+
+    name: str = "none"
+
+    def __init__(self) -> None:
+        self.sim: Optional["Simulation"] = None
+
+    # ------------------------------------------------------------ lifecycle
+    def attach(self, sim: "Simulation") -> None:
+        self.sim = sim
+
+    def on_simulation_start(self) -> None:
+        """Called right before the first rank event executes."""
+
+    def on_simulation_end(self) -> None:
+        """Called after the simulation loop finishes."""
+
+    # ------------------------------------------------------- failure-free path
+    def on_app_send(self, rank: int, message: Message) -> SendDecision:
+        return SendDecision.send()
+
+    def on_app_deliver(self, rank: int, message: Message) -> None:
+        return None
+
+    def on_message_arrival(self, rank: int, message: Message) -> bool:
+        """Called when a message reaches the destination's MPI layer, before
+        matching.  Return ``False`` to silently discard it (used by
+        message-logging protocols to suppress duplicates re-sent by a
+        recovering process)."""
+        return True
+
+    def on_iteration_boundary(self, rank: int, iteration: int, state: Any):
+        """Return ``None`` or a generator executed inline by the rank driver."""
+        return None
+
+    def on_checkpoint_request(self, rank: int, label: str = "") -> float:
+        """Application-requested local checkpoint; return the time it costs."""
+        return 0.0
+
+    # ----------------------------------------------------------- failure path
+    def on_failure(self, failed_ranks: Iterable[int], time: float) -> None:
+        return None
+
+    def on_rank_restarted(self, rank: int) -> None:
+        return None
+
+    def on_rank_done(self, rank: int) -> None:
+        return None
+
+    def recovery_in_progress(self) -> bool:
+        return False
+
+    # ------------------------------------------------------------ accounting
+    def memory_usage_bytes(self) -> Dict[int, int]:
+        """Per-rank protocol memory footprint (log buffers, determinants...)."""
+        return {}
+
+    def describe(self) -> Dict[str, Any]:
+        """Free-form description used by result reports."""
+        return {"protocol": self.name}
+
+
+@dataclass
+class ControlMessage:
+    """A protocol control message carried outside the application channels.
+
+    The paper's recovery traffic (``Rollback``, ``LastDate``, ``Log``,
+    ``Orphan``, ``OwnPhase``, ``OrphanNotification``, ``NotifySendLog``,
+    ``NotifySendMsg``) is modelled with these.  They are delivered through
+    :class:`ControlPlane` with a fixed small latency and are accounted
+    separately from application traffic.
+    """
+
+    sender: int
+    dest: int
+    kind: str
+    data: Any = None
+    size_bytes: int = 32
+
+
+#: Pseudo-rank address of the recovery process (Algorithm 4).
+RECOVERY_PROCESS = -2
+
+
+class ControlPlane:
+    """Delivers protocol control messages with a configurable latency.
+
+    Control messages do not traverse the application FIFO channels; they are
+    delivered to a single protocol callback.  The plane keeps counters so
+    experiments can report the volume of recovery traffic.
+    """
+
+    def __init__(self, engine, latency_s: float = 2.0e-6) -> None:
+        self._engine = engine
+        self.latency_s = latency_s
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self._handler = None
+
+    def set_handler(self, handler) -> None:
+        """``handler(control_message)`` invoked at delivery time."""
+        self._handler = handler
+
+    def send(
+        self,
+        sender: int,
+        dest: int,
+        kind: str,
+        data: Any = None,
+        size_bytes: int = 32,
+        extra_delay: float = 0.0,
+    ) -> None:
+        msg = ControlMessage(sender=sender, dest=dest, kind=kind, data=data, size_bytes=size_bytes)
+        self.messages_sent += 1
+        self.bytes_sent += size_bytes
+        if self._handler is None:
+            raise RuntimeError("control plane has no handler; protocol not attached")
+        self._engine.schedule(self.latency_s + extra_delay, self._handler, msg)

@@ -1,0 +1,125 @@
+"""Non-blocking communication request handles.
+
+Requests model the completion semantics of ``MPI_Isend``/``MPI_Irecv``: a
+request is created PENDING and completes exactly once; ranks can block on one
+request (``wait``), on all of a list (``waitall``) or on any (``waitany``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from enum import Enum
+from typing import Any, Callable, List, Optional
+
+from repro.errors import InvalidOperationError
+from repro.simulator.messages import Message
+
+_REQUEST_COUNTER = itertools.count(1)
+
+
+class RequestState(Enum):
+    PENDING = "pending"
+    COMPLETE = "complete"
+    CANCELLED = "cancelled"
+
+
+class Request:
+    """Base class for send and receive requests."""
+
+    __slots__ = (
+        "req_id",
+        "rank",
+        "state",
+        "completion_time",
+        "_value",
+        "_waiters",
+    )
+
+    def __init__(self, rank: int) -> None:
+        self.req_id = next(_REQUEST_COUNTER)
+        self.rank = rank
+        self.state = RequestState.PENDING
+        self.completion_time: Optional[float] = None
+        self._value: Any = None
+        self._waiters: List[Callable[["Request"], None]] = []
+
+    # ------------------------------------------------------------------ api
+    @property
+    def complete(self) -> bool:
+        return self.state is RequestState.COMPLETE
+
+    @property
+    def cancelled(self) -> bool:
+        return self.state is RequestState.CANCELLED
+
+    @property
+    def value(self) -> Any:
+        """Completion value (the :class:`Message` for receive requests)."""
+        return self._value
+
+    def test(self) -> bool:
+        """Non-destructive completion test (``MPI_Test`` without deallocation)."""
+        return self.complete
+
+    def add_waiter(self, callback: Callable[["Request"], None]) -> None:
+        if self.complete or self.cancelled:
+            callback(self)
+        else:
+            self._waiters.append(callback)
+
+    # ------------------------------------------------------------- internals
+    def _complete(self, value: Any, time: float) -> None:
+        if self.state is RequestState.CANCELLED:
+            return
+        if self.state is RequestState.COMPLETE:
+            raise InvalidOperationError(f"request {self.req_id} completed twice")
+        self.state = RequestState.COMPLETE
+        self._value = value
+        self.completion_time = time
+        waiters, self._waiters = self._waiters, []
+        for callback in waiters:
+            callback(self)
+
+    def cancel(self) -> None:
+        if self.state is RequestState.PENDING:
+            self.state = RequestState.CANCELLED
+            self._waiters = []
+
+
+class SendRequest(Request):
+    """Completion handle for a non-blocking send."""
+
+    __slots__ = ("message",)
+
+    def __init__(self, rank: int, message: Message) -> None:
+        super().__init__(rank)
+        self.message = message
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SendRequest(#{self.req_id} rank={self.rank} {self.state.value})"
+
+
+class RecvRequest(Request):
+    """Completion handle for a non-blocking receive (posted receive)."""
+
+    __slots__ = ("source", "tag")
+
+    def __init__(self, rank: int, source: int, tag: int) -> None:
+        super().__init__(rank)
+        self.source = source
+        self.tag = tag
+
+    def matches(self, message: Message) -> bool:
+        return message.matches(self.source, self.tag) and message.dest == self.rank
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"RecvRequest(#{self.req_id} rank={self.rank} src={self.source} "
+            f"tag={self.tag} {self.state.value})"
+        )
+
+
+def reset_request_counter() -> None:
+    """Reset the global request id counter (used by tests for determinism)."""
+    global _REQUEST_COUNTER
+    _REQUEST_COUNTER = itertools.count(1)

@@ -1,0 +1,375 @@
+"""Top-level simulation orchestration.
+
+:class:`Simulation` wires together the engine, the transport, the rank
+processes, the (optional) fault-tolerance protocol, the failure injector, the
+trace recorder and the stable storage, and exposes the handful of operations
+that protocols need in order to implement rollback-recovery:
+
+* :meth:`Simulation.initiate_send` / :meth:`initiate_isend` -- the single code
+  path every application message goes through (protocol hooks are applied
+  here),
+* :meth:`Simulation.replay_message` -- inject a message replayed from a
+  sender-based log (bypasses the application, Section III-B of the paper),
+* :meth:`Simulation.kill_ranks`, :meth:`restart_rank`, :meth:`drop_in_flight`
+  -- failure and rollback mechanics,
+* :meth:`Simulation.run` -- run to completion with deadlock detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import DeadlockError, SimulationError
+from repro.simulator.channel import Transport
+from repro.simulator.communicator import Communicator
+from repro.simulator.engine import Condition, SimulationEngine
+from repro.simulator.failures import FailureInjector
+from repro.simulator.messages import Message, MessageKind
+from repro.simulator.network import MyrinetMXModel, NetworkModel
+from repro.simulator.process import RankProcess, RankState
+from repro.simulator.protocol_api import ControlPlane, ProtocolHooks, SendAction
+from repro.simulator.requests import SendRequest
+from repro.simulator.stable_storage import StableStorage
+from repro.simulator.statistics import SimulationStatistics
+from repro.simulator.trace import TraceRecorder
+
+
+@dataclass
+class SimulationConfig:
+    """Tunable parameters of a simulation run."""
+
+    #: Network performance model (defaults to the paper's Myrinet 10G model).
+    network: Optional[NetworkModel] = None
+    #: Record individual communication events (disable for large sweeps).
+    record_trace_events: bool = True
+    #: Absolute simulation-time bound (None = unbounded).
+    max_time: Optional[float] = None
+    #: Maximum number of engine events (None = unbounded); safety valve.
+    max_events: Optional[int] = None
+    #: Delay charged when a rank restarts from a checkpoint.
+    restart_delay_s: float = 1.0e-3
+    #: Latency of protocol control messages.
+    control_latency_s: float = 2.0e-6
+    #: Stable-storage write bandwidth for checkpoints (None = free writes).
+    checkpoint_write_bandwidth: Optional[float] = 1.0e9
+    #: Raise when the run ends without every rank finishing.
+    raise_on_incomplete: bool = True
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of :meth:`Simulation.run`."""
+
+    status: str
+    makespan: float
+    stats: SimulationStatistics
+    trace: TraceRecorder
+    rank_results: Dict[int, Any] = field(default_factory=dict)
+    rank_states: Dict[int, str] = field(default_factory=dict)
+
+    @property
+    def completed(self) -> bool:
+        return self.status == "completed"
+
+
+class Simulation:
+    """A single simulated execution of an application under a protocol."""
+
+    def __init__(
+        self,
+        application: Any,
+        nprocs: int,
+        protocol: Optional[ProtocolHooks] = None,
+        failures: Optional[FailureInjector] = None,
+        config: Optional[SimulationConfig] = None,
+    ) -> None:
+        if nprocs < 1:
+            raise SimulationError("a simulation needs at least one rank")
+        self.config = config or SimulationConfig()
+        self.application = application
+        self.nprocs = nprocs
+        self.engine = SimulationEngine()
+        self.network: NetworkModel = self.config.network or MyrinetMXModel()
+        self.trace = TraceRecorder(record_events=self.config.record_trace_events)
+        self.stats = SimulationStatistics()
+        self.storage = StableStorage(
+            write_bandwidth_bytes_per_s=self.config.checkpoint_write_bandwidth
+        )
+        self.control = ControlPlane(self.engine, latency_s=self.config.control_latency_s)
+        self.transport = Transport(self.engine, self.network, self._on_message_arrival)
+        self.protocol: ProtocolHooks = protocol or ProtocolHooks()
+        self.failure_injector = failures
+
+        self.ranks: Dict[int, RankProcess] = {}
+        for rank in range(nprocs):
+            proc = RankProcess(self, rank, application)
+            proc.comm = Communicator(self, proc)
+            proc.pending_overhead = 0.0
+            self.ranks[rank] = proc
+
+        self._done_count = 0
+        self.stats.protocol = getattr(self.protocol, "name", "none")
+        self.protocol.attach(self)
+        if self.failure_injector is not None:
+            self.failure_injector.attach(self)
+
+    # ----------------------------------------------------------------- access
+    def rank(self, rank: int) -> RankProcess:
+        return self.ranks[rank]
+
+    def alive_ranks(self) -> List[int]:
+        return [r for r, p in self.ranks.items() if p.state is not RankState.FAILED]
+
+    # ------------------------------------------------------------- send paths
+    def _build_message(
+        self,
+        proc: RankProcess,
+        dest: int,
+        payload: Any,
+        tag: int,
+        size_bytes: int,
+        collective: bool,
+    ) -> Message:
+        kind = MessageKind.COLLECTIVE if collective else MessageKind.APP
+        return Message(
+            source=proc.rank,
+            dest=dest,
+            tag=tag,
+            size_bytes=size_bytes,
+            payload=payload,
+            kind=kind,
+        )
+
+    def initiate_send(
+        self,
+        proc: RankProcess,
+        dest: int,
+        payload: Any,
+        tag: int,
+        size_bytes: int,
+        collective: bool = False,
+    ) -> Tuple[str, Any]:
+        """Blocking-send entry point.
+
+        Returns ``("sent", cpu_time)``, ``("suppressed", cpu_time)`` or
+        ``("deferred", condition)``.
+        """
+        message = self._build_message(proc, dest, payload, tag, size_bytes, collective)
+        return self._attempt_send(proc, message)
+
+    def _attempt_send(self, proc: RankProcess, message: Message) -> Tuple[str, Any]:
+        decision = self.protocol.on_app_send(proc.rank, message)
+        if decision.action is SendAction.DEFER:
+            if decision.condition is None:
+                raise SimulationError("protocol returned DEFER without a condition")
+            return "deferred", decision.condition
+        if decision.action is SendAction.SUPPRESS:
+            proc.sends_initiated += 1
+            self.trace.record_send(message, self.engine.now, suppressed=True)
+            return "suppressed", self.network.send_overhead_s
+        # SEND
+        proc.sends_initiated += 1
+        cpu = self.network.send_overhead_s + decision.extra_cpu_time
+        self.transport.transmit(message, extra_delay=decision.extra_cpu_time)
+        self.trace.record_send(message, self.engine.now)
+        rstats = self.stats.rank(proc.rank)
+        rstats.sends += 1
+        rstats.bytes_sent += message.size_bytes
+        self.stats.app_messages += 1
+        self.stats.app_bytes += message.size_bytes
+        return "sent", cpu
+
+    def initiate_isend(
+        self,
+        proc: RankProcess,
+        dest: int,
+        payload: Any,
+        tag: int,
+        size_bytes: int,
+        collective: bool = False,
+    ) -> SendRequest:
+        """Non-blocking-send entry point; always returns a request."""
+        message = self._build_message(proc, dest, payload, tag, size_bytes, collective)
+        request = SendRequest(proc.rank, message)
+        self._isend_attempt(proc, message, request, proc.incarnation)
+        return request
+
+    def _isend_attempt(
+        self, proc: RankProcess, message: Message, request: SendRequest, incarnation: int
+    ) -> None:
+        if incarnation != proc.incarnation or proc.state is RankState.FAILED:
+            request.cancel()
+            return
+        outcome, info = self._attempt_send(proc, message)
+        if outcome == "deferred":
+            condition: Condition = info
+            condition.add_waiter(
+                lambda _value: self._isend_attempt(proc, message, request, incarnation)
+            )
+            return
+        cpu = info
+        # Charge the sender-side CPU cost (piggyback handling, log memcpy) to
+        # the rank by delaying its next resume: an MPI_Isend call does not
+        # return before the library has done that work.
+        proc.pending_overhead += cpu
+        self.engine.schedule(cpu, self._complete_send_request, request)
+
+    def _complete_send_request(self, request: SendRequest) -> None:
+        if not request.cancelled and not request.complete:
+            request._complete(None, self.engine.now)
+
+    def replay_message(self, message: Message, extra_cpu_time: float = 0.0) -> None:
+        """Inject a message replayed from a sender-based log (recovery path).
+
+        The replayed clone bypasses the protocol send hook: its piggybacked
+        date and phase are the ones stored in the log (Algorithm 1 line 8 /
+        Algorithm 3 lines 22-24).
+        """
+        clone = message.clone_for_replay()
+        self.transport.transmit(clone, extra_delay=extra_cpu_time)
+        self.trace.record_send(clone, self.engine.now)
+        self.stats.extra["replayed_messages"] = self.stats.extra.get("replayed_messages", 0) + 1
+
+    # -------------------------------------------------------------- delivery
+    def _on_message_arrival(self, message: Message) -> None:
+        proc = self.ranks.get(message.dest)
+        if proc is None or proc.state is RankState.FAILED:
+            return
+        if not self.protocol.on_message_arrival(proc.rank, message):
+            self.stats.extra["suppressed_duplicates"] = (
+                self.stats.extra.get("suppressed_duplicates", 0) + 1
+            )
+            return
+        proc.deliver_message(message)
+
+    def on_app_delivery(self, proc: RankProcess, message: Message) -> None:
+        """Called by the rank process when a message is matched to the app."""
+        overhead = self.protocol.on_app_deliver(proc.rank, message)
+        if isinstance(overhead, (int, float)) and overhead > 0:
+            proc.pending_overhead += float(overhead)
+        self.trace.record_delivery(message, self.engine.now)
+        rstats = self.stats.rank(proc.rank)
+        rstats.receives += 1
+        rstats.bytes_received += message.size_bytes
+
+    # ------------------------------------------------------------- lifecycle
+    def notify_iteration_completed(self, rank: int, iteration: int) -> None:
+        if self.failure_injector is not None:
+            self.failure_injector.on_iteration_completed(rank, iteration)
+
+    def on_rank_done(self, proc: RankProcess) -> None:
+        self._done_count += 1
+        self.protocol.on_rank_done(proc.rank)
+
+    def protocol_checkpoint_request(self, proc: RankProcess, label: str) -> float:
+        cost = self.protocol.on_checkpoint_request(proc.rank, label)
+        return float(cost or 0.0)
+
+    # --------------------------------------------------------------- failures
+    def kill_ranks(self, ranks: Iterable[int]) -> None:
+        """Fail-stop the given ranks and drop messages involving them."""
+        failed = set(ranks)
+        for rank in failed:
+            self.ranks[rank].fail()
+        self.transport.drop_messages(involving=failed)
+        self.stats.failures_injected += len(failed)
+
+    def drop_in_flight(self, involving: Set[int]) -> List[Message]:
+        return self.transport.drop_messages(involving=involving)
+
+    def purge_undelivered_from(self, sources: Set[int], at_ranks: Optional[Iterable[int]] = None) -> int:
+        """Purge unexpected-queue messages sent by ``sources`` at alive ranks."""
+        targets = self.ranks.values() if at_ranks is None else [self.ranks[r] for r in at_ranks]
+        purged = 0
+        for proc in targets:
+            if proc.state is not RankState.FAILED:
+                purged += proc.purge_messages_from(sources)
+        return purged
+
+    def restart_rank(
+        self,
+        rank: int,
+        iteration: int,
+        app_state: Any,
+        sends_at_checkpoint: int = 0,
+        restart_delay: Optional[float] = None,
+    ) -> None:
+        """Restart ``rank`` from an application iteration boundary."""
+        delay = self.config.restart_delay_s if restart_delay is None else restart_delay
+        proc = self.ranks[rank]
+        was_done = proc.done
+        proc.restart_from_checkpoint(iteration, app_state, restart_delay=delay)
+        if was_done:
+            # The rank had finished but is dragged back by a rollback; it will
+            # finish again at the end of recovery.
+            self._done_count -= 1
+        self.trace.mark_restart(rank, sends_at_checkpoint)
+        self.stats.ranks_rolled_back += 1
+        self.protocol.on_rank_restarted(rank)
+
+    # ------------------------------------------------------------------- run
+    def all_done(self) -> bool:
+        return all(p.done for p in self.ranks.values())
+
+    def run(self) -> SimulationResult:
+        self.protocol.on_simulation_start()
+        for proc in self.ranks.values():
+            proc.start()
+        reason = self.engine.run(
+            until_time=self.config.max_time,
+            max_events=self.config.max_events,
+            stop_predicate=self.all_done,
+        )
+        self.protocol.on_simulation_end()
+
+        if self.all_done():
+            status = "completed"
+        elif reason == "empty":
+            status = "deadlock"
+        elif reason == "until_time":
+            status = "timeout"
+        elif reason == "max_events":
+            status = "event-limit"
+        else:
+            status = "completed" if self.all_done() else "incomplete"
+
+        if status == "deadlock" and self.config.raise_on_incomplete:
+            raise DeadlockError(self._deadlock_report())
+        if status in ("timeout", "event-limit") and self.config.raise_on_incomplete:
+            raise SimulationError(
+                f"simulation stopped ({status}) before completion: "
+                f"{sum(1 for p in self.ranks.values() if not p.done)} ranks unfinished"
+            )
+
+        self._finalize_stats()
+        return SimulationResult(
+            status=status,
+            makespan=self.stats.makespan,
+            stats=self.stats,
+            trace=self.trace,
+            rank_results={r: p.result for r, p in self.ranks.items()},
+            rank_states={r: p.state.value for r, p in self.ranks.items()},
+        )
+
+    # ------------------------------------------------------------- internals
+    def _finalize_stats(self) -> None:
+        finish_times = [p.finish_time for p in self.ranks.values() if p.finish_time is not None]
+        self.stats.makespan = max(finish_times) if finish_times else self.engine.now
+        self.stats.events_processed = self.engine.events_processed
+        self.stats.control_messages = self.control.messages_sent
+        self.stats.control_bytes = self.control.bytes_sent
+        self.stats.checkpoints_taken = self.storage.writes
+        self.stats.checkpoint_bytes = self.storage.bytes_written
+        self.stats.extra.update(self.protocol.describe())
+
+    def _deadlock_report(self) -> str:
+        lines = ["simulation deadlock: event queue empty but ranks are not done"]
+        lines.append(f"  recovery in progress: {self.protocol.recovery_in_progress()}")
+        for rank, proc in sorted(self.ranks.items()):
+            if not proc.done:
+                lines.append(
+                    f"  rank {rank}: state={proc.state.value} iteration={proc.completed_iterations} "
+                    f"blocked on {proc.blocked_description()}"
+                )
+        return "\n".join(lines)

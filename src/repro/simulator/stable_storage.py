@@ -1,0 +1,132 @@
+"""Simulated stable storage for process checkpoints.
+
+The paper assumes checkpoints are written to reliable storage (Section II-A,
+footnote 1: checkpoints live on stable storage but failure containment itself
+does not rely on it).  The simulation keeps checkpoints in an in-memory store
+that survives process failures and optionally charges a write cost derived
+from a storage bandwidth, which is what creates the I/O-burst concern for
+globally coordinated checkpointing discussed in the related-work section.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class CheckpointRecord:
+    """One process checkpoint.
+
+    Attributes mirror line 21 of Algorithm 1: the process image (application
+    iteration + application state), the RPP table, the sender-based message
+    logs, the phase and the date.  Baseline protocols reuse the same record
+    type and simply leave the HydEE-specific fields empty.
+    """
+
+    rank: int
+    checkpoint_id: int
+    iteration: int
+    app_state: Any
+    time: float
+    #: number of application sends the rank had initiated when checkpointing
+    #: (used to rebuild logical send sequences after a rollback).
+    sends_at_checkpoint: int = 0
+    #: protocol-specific payload (dates, phases, RPP, message logs, ...).
+    protocol_state: Dict[str, Any] = field(default_factory=dict)
+    size_bytes: int = 0
+
+    def restore_app_state(self) -> Any:
+        """Return a private copy of the checkpointed application state."""
+        return copy.deepcopy(self.app_state)
+
+
+class StableStorage:
+    """Reliable checkpoint store shared by all ranks.
+
+    ``write_bandwidth_bytes_per_s`` prices the checkpoint write; a value of
+    ``None`` makes writes free (useful for protocol-logic tests).  The store
+    keeps every checkpoint but only the most recent one per rank is needed by
+    the protocols (Section III-E: older checkpoints and the logged messages
+    they reference are garbage collected).
+    """
+
+    def __init__(self, write_bandwidth_bytes_per_s: Optional[float] = 1.0e9) -> None:
+        self.write_bandwidth_bytes_per_s = write_bandwidth_bytes_per_s
+        self._checkpoints: Dict[int, List[CheckpointRecord]] = {}
+        self._next_id = 1
+        self.bytes_written = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------ write
+    def write_cost(self, size_bytes: int) -> float:
+        if not self.write_bandwidth_bytes_per_s:
+            return 0.0
+        return size_bytes / self.write_bandwidth_bytes_per_s
+
+    def save(
+        self,
+        rank: int,
+        iteration: int,
+        app_state: Any,
+        time: float,
+        sends_at_checkpoint: int = 0,
+        protocol_state: Optional[Dict[str, Any]] = None,
+        size_bytes: int = 0,
+    ) -> CheckpointRecord:
+        record = CheckpointRecord(
+            rank=rank,
+            checkpoint_id=self._next_id,
+            iteration=iteration,
+            app_state=copy.deepcopy(app_state),
+            time=time,
+            sends_at_checkpoint=sends_at_checkpoint,
+            protocol_state=copy.deepcopy(protocol_state or {}),
+            size_bytes=size_bytes,
+        )
+        self._next_id += 1
+        self._checkpoints.setdefault(rank, []).append(record)
+        self.bytes_written += size_bytes
+        self.writes += 1
+        return record
+
+    # ------------------------------------------------------------------ read
+    def latest(self, rank: int) -> Optional[CheckpointRecord]:
+        records = self._checkpoints.get(rank)
+        return records[-1] if records else None
+
+    def all_for(self, rank: int) -> List[CheckpointRecord]:
+        return list(self._checkpoints.get(rank, []))
+
+    def latest_common_iteration(self, ranks) -> Optional[int]:
+        """Largest iteration for which every rank in ``ranks`` has a checkpoint."""
+        iterations: Optional[set] = None
+        for rank in ranks:
+            have = {rec.iteration for rec in self._checkpoints.get(rank, [])}
+            iterations = have if iterations is None else (iterations & have)
+        if not iterations:
+            return None
+        return max(iterations)
+
+    def checkpoint_at(self, rank: int, iteration: int) -> CheckpointRecord:
+        for record in reversed(self._checkpoints.get(rank, [])):
+            if record.iteration == iteration:
+                return record
+        raise SimulationError(f"rank {rank} has no checkpoint at iteration {iteration}")
+
+    # --------------------------------------------------------------- cleanup
+    def garbage_collect(self, rank: int, keep_latest: int = 1) -> int:
+        """Drop all but the ``keep_latest`` most recent checkpoints of ``rank``."""
+        records = self._checkpoints.get(rank, [])
+        removed = max(0, len(records) - keep_latest)
+        if removed:
+            self._checkpoints[rank] = records[-keep_latest:]
+        return removed
+
+    def count(self, rank: Optional[int] = None) -> int:
+        if rank is not None:
+            return len(self._checkpoints.get(rank, []))
+        return sum(len(v) for v in self._checkpoints.values())

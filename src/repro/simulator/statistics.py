@@ -1,0 +1,124 @@
+"""Aggregated simulation statistics.
+
+The statistics object is filled by the simulation and consumed by the
+experiment harnesses:  execution time (Figure 6), per-protocol logged volume
+(Table I), control-plane traffic and recovery metrics (containment
+experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class RankStatistics:
+    """Per-rank counters."""
+
+    rank: int
+    sends: int = 0
+    receives: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    compute_time: float = 0.0
+    blocked_time: float = 0.0
+    checkpoints: int = 0
+    restarts: int = 0
+    finish_time: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "rank": self.rank,
+            "sends": self.sends,
+            "receives": self.receives,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "compute_time": self.compute_time,
+            "blocked_time": self.blocked_time,
+            "checkpoints": self.checkpoints,
+            "restarts": self.restarts,
+            "finish_time": self.finish_time,
+        }
+
+
+@dataclass
+class SimulationStatistics:
+    """Whole-run counters."""
+
+    ranks: Dict[int, RankStatistics] = field(default_factory=dict)
+    #: wall-clock of the simulated execution = max rank finish time.
+    makespan: float = 0.0
+    events_processed: int = 0
+    app_messages: int = 0
+    app_bytes: int = 0
+    logged_messages: int = 0
+    logged_bytes: int = 0
+    control_messages: int = 0
+    control_bytes: int = 0
+    checkpoints_taken: int = 0
+    checkpoint_bytes: int = 0
+    failures_injected: int = 0
+    ranks_rolled_back: int = 0
+    recovery_time: float = 0.0
+    protocol: str = "none"
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def rank(self, rank: int) -> RankStatistics:
+        if rank not in self.ranks:
+            self.ranks[rank] = RankStatistics(rank=rank)
+        return self.ranks[rank]
+
+    @property
+    def total_compute_time(self) -> float:
+        return sum(r.compute_time for r in self.ranks.values())
+
+    @property
+    def rolled_back_fraction(self) -> float:
+        if not self.ranks:
+            return 0.0
+        return self.ranks_rolled_back / len(self.ranks)
+
+    @property
+    def logged_fraction_bytes(self) -> float:
+        if self.app_bytes == 0:
+            return 0.0
+        return self.logged_bytes / self.app_bytes
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "protocol": self.protocol,
+            "makespan": self.makespan,
+            "events_processed": self.events_processed,
+            "app_messages": self.app_messages,
+            "app_bytes": self.app_bytes,
+            "logged_messages": self.logged_messages,
+            "logged_bytes": self.logged_bytes,
+            "logged_fraction_bytes": self.logged_fraction_bytes,
+            "control_messages": self.control_messages,
+            "control_bytes": self.control_bytes,
+            "checkpoints_taken": self.checkpoints_taken,
+            "checkpoint_bytes": self.checkpoint_bytes,
+            "failures_injected": self.failures_injected,
+            "ranks_rolled_back": self.ranks_rolled_back,
+            "rolled_back_fraction": self.rolled_back_fraction,
+            "recovery_time": self.recovery_time,
+            "extra": dict(self.extra),
+        }
+
+    def summary_lines(self) -> List[str]:
+        d = self.as_dict()
+        lines = [f"protocol            : {d['protocol']}"]
+        lines.append(f"makespan            : {d['makespan'] * 1e3:.3f} ms")
+        lines.append(f"application messages: {d['app_messages']} ({d['app_bytes']} bytes)")
+        lines.append(
+            "logged messages     : "
+            f"{d['logged_messages']} ({d['logged_bytes']} bytes, "
+            f"{100.0 * d['logged_fraction_bytes']:.1f}% of app bytes)"
+        )
+        lines.append(f"checkpoints         : {d['checkpoints_taken']}")
+        lines.append(
+            f"failures / rollbacks: {d['failures_injected']} / {d['ranks_rolled_back']} ranks "
+            f"({100.0 * d['rolled_back_fraction']:.1f}%)"
+        )
+        return lines

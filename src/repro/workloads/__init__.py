@@ -1,0 +1,36 @@
+"""Workloads (simulated applications) exercising the substrate and protocols."""
+
+from repro.workloads.base import Application, ApplicationInfo
+from repro.workloads.ring import RingApplication, PipelineApplication
+from repro.workloads.stencil import Stencil1DApplication, Stencil2DApplication
+from repro.workloads.netpipe import PingPongApplication
+from repro.workloads.master_worker import MasterWorkerApplication
+from repro.workloads.nas import (
+    BTApplication,
+    CGApplication,
+    FTApplication,
+    LUApplication,
+    MGApplication,
+    NAS_BENCHMARKS,
+    SPApplication,
+    make_nas_application,
+)
+
+__all__ = [
+    "Application",
+    "ApplicationInfo",
+    "RingApplication",
+    "PipelineApplication",
+    "Stencil1DApplication",
+    "Stencil2DApplication",
+    "PingPongApplication",
+    "MasterWorkerApplication",
+    "BTApplication",
+    "CGApplication",
+    "FTApplication",
+    "LUApplication",
+    "MGApplication",
+    "SPApplication",
+    "NAS_BENCHMARKS",
+    "make_nas_application",
+]

@@ -1,0 +1,116 @@
+"""Application (workload) interface for the simulation substrate.
+
+An application describes an SPMD MPI program as three pieces:
+
+* :meth:`Application.setup` builds the per-rank state object (plain Python
+  data; it must be ``copy.deepcopy``-able because checkpoints snapshot it),
+* :meth:`Application.iteration` is a generator performing one outer iteration
+  of the program: communication calls are expressed with ``yield from
+  comm.<call>(...)`` and local work with ``yield from comm.compute(t)``,
+* :meth:`Application.finalize` is a generator producing the rank's final
+  result (often a checksum used by tests to compare executions).
+
+Checkpoints are taken by protocols at iteration boundaries, so rollback
+restores ``(iteration, state)`` and re-runs :meth:`iteration` from there.
+
+**Send-determinism.**  The paper's protocol assumes the application is
+send-deterministic (Definition 3): for fixed inputs every correct execution
+sends the same sequence of messages per process, regardless of the order in
+which non-causally-related receptions are delivered.  Every workload in this
+package is send-deterministic except
+:class:`repro.workloads.master_worker.MasterWorkerApplication`, which is the
+counterexample used in tests (matching the paper's observation that
+master/worker codes are the main non-send-deterministic class).
+:attr:`Application.send_deterministic` advertises the property so protocols
+and experiments can check applicability.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, Optional
+
+from repro.errors import WorkloadError
+
+
+@dataclass
+class ApplicationInfo:
+    """Descriptive metadata used in reports and experiment tables."""
+
+    name: str
+    nprocs: int
+    iterations: int
+    description: str = ""
+    parameters: Optional[Dict[str, Any]] = None
+
+
+class Application(abc.ABC):
+    """Base class for simulated SPMD applications."""
+
+    #: Human-readable workload name (used by experiment tables).
+    name: str = "application"
+    #: Whether the workload satisfies Definition 3 of the paper.
+    send_deterministic: bool = True
+
+    def __init__(self, nprocs: int, iterations: int) -> None:
+        if nprocs < 1:
+            raise WorkloadError(f"{self.name}: nprocs must be >= 1, got {nprocs}")
+        if iterations < 1:
+            raise WorkloadError(f"{self.name}: iterations must be >= 1, got {iterations}")
+        self.nprocs = nprocs
+        self.iterations = iterations
+
+    # ------------------------------------------------------------------ hooks
+    @property
+    def num_iterations(self) -> int:
+        return self.iterations
+
+    @abc.abstractmethod
+    def setup(self, rank: int, nprocs: int) -> Any:
+        """Build and return the per-rank application state."""
+
+    @abc.abstractmethod
+    def iteration(self, comm, rank: int, state: Any, it: int) -> Iterator:
+        """Generator performing one application iteration."""
+
+    def finalize(self, comm, rank: int, state: Any) -> Iterator:
+        """Generator returning the rank's final result (default: the state)."""
+        return state
+        yield  # pragma: no cover - marks this function as a generator
+
+    # ------------------------------------------------------------------- misc
+    def info(self) -> ApplicationInfo:
+        return ApplicationInfo(
+            name=self.name,
+            nprocs=self.nprocs,
+            iterations=self.iterations,
+            description=type(self).__doc__.splitlines()[0] if type(self).__doc__ else "",
+            parameters=self.parameters(),
+        )
+
+    def parameters(self) -> Dict[str, Any]:
+        """Workload parameters worth reporting (overridden by subclasses)."""
+        return {"nprocs": self.nprocs, "iterations": self.iterations}
+
+    def communication_matrix(self, weight: str = "bytes"):
+        """Analytic per-channel volume estimate, if the workload provides one.
+
+        Workloads used in Table I override this to return an
+        ``nprocs x nprocs`` numpy array without running a simulation; the
+        default raises so callers fall back to trace-based extraction.
+        """
+        raise NotImplementedError(
+            f"{self.name} does not provide an analytic communication matrix"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}(nprocs={self.nprocs}, iterations={self.iterations})"
+
+
+def checksum(values) -> float:
+    """Order-independent checksum helper used by workloads' finalize()."""
+    total = 0.0
+    for v in values:
+        total += float(v)
+    return round(total, 10)

@@ -1,0 +1,104 @@
+"""Master/worker workload -- the non-send-deterministic counterexample.
+
+The study the paper builds on ([10], Cappello et al.) found that master/
+worker codes are essentially the only common HPC pattern that is *not*
+send-deterministic: the master receives work requests with
+``MPI_ANY_SOURCE`` and the identity of the worker that gets the next task --
+hence the sequence of messages the master sends -- depends on the order in
+which requests arrive.
+
+This workload exists to exercise that boundary:
+
+* it declares :attr:`send_deterministic` ``False``, so
+  :class:`repro.core.protocol.HydEEProtocol` refuses to run it unless the
+  check is explicitly disabled;
+* tests use it to document what breaks when the assumption is violated.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator
+
+from repro.simulator.messages import ANY_SOURCE
+from repro.workloads.base import Application
+
+#: tags used by the master/worker exchange.
+TASK_TAG = 80
+REQUEST_TAG = 81
+RESULT_TAG = 82
+
+
+class MasterWorkerApplication(Application):
+    """Rank 0 hands out tasks to workers on demand (ANY_SOURCE receives)."""
+
+    name = "master-worker"
+    send_deterministic = False
+
+    def __init__(
+        self,
+        nprocs: int,
+        iterations: int = 1,
+        tasks_per_worker: int = 2,
+        task_bytes: int = 4096,
+        task_compute_seconds: float = 30.0e-6,
+    ) -> None:
+        super().__init__(nprocs, iterations)
+        self.tasks_per_worker = tasks_per_worker
+        self.task_bytes = task_bytes
+        self.task_compute_seconds = task_compute_seconds
+
+    @property
+    def total_tasks(self) -> int:
+        return self.tasks_per_worker * max(1, self.nprocs - 1)
+
+    def setup(self, rank: int, nprocs: int) -> Dict[str, Any]:
+        return {"completed": 0, "acc": 0.0}
+
+    def iteration(self, comm, rank: int, state: Dict[str, Any], it: int) -> Iterator:
+        nworkers = self.nprocs - 1
+        if nworkers == 0:
+            yield from comm.compute(self.task_compute_seconds)
+            return
+        if rank == 0:
+            yield from self._master(comm, state)
+        else:
+            yield from self._worker(comm, rank, state)
+
+    def _master(self, comm, state: Dict[str, Any]) -> Iterator:
+        remaining = self.total_tasks
+        task_id = 0
+        # Hand out tasks as requests arrive (non-deterministic order), then
+        # send every worker a stop marker.
+        while remaining > 0:
+            request = yield from comm.recv(source=ANY_SOURCE, tag=REQUEST_TAG)
+            worker = request.source
+            task_id += 1
+            remaining -= 1
+            yield from comm.send(worker, payload=task_id, tag=TASK_TAG,
+                                 size_bytes=self.task_bytes)
+        results = 0
+        while results < self.total_tasks:
+            message = yield from comm.recv(source=ANY_SOURCE, tag=RESULT_TAG)
+            state["acc"] += float(message.payload)
+            results += 1
+        for worker in range(1, self.nprocs):
+            yield from comm.send(worker, payload=-1, tag=TASK_TAG, size_bytes=64)
+        state["completed"] = self.total_tasks
+
+    def _worker(self, comm, rank: int, state: Dict[str, Any]) -> Iterator:
+        for _ in range(self.tasks_per_worker):
+            yield from comm.send(0, payload=rank, tag=REQUEST_TAG, size_bytes=64)
+            task = yield from comm.recv(source=0, tag=TASK_TAG)
+            if task.payload == -1:  # pragma: no cover - defensive
+                return
+            yield from comm.compute(self.task_compute_seconds)
+            result = round(task.payload * 1.5 + rank * 0.01, 9)
+            state["acc"] += result
+            state["completed"] += 1
+            yield from comm.send(0, payload=result, tag=RESULT_TAG, size_bytes=128)
+        stop = yield from comm.recv(source=0, tag=TASK_TAG)
+        assert stop.payload == -1
+
+    def finalize(self, comm, rank: int, state: Dict[str, Any]) -> Iterator:
+        return {"rank": rank, "completed": state["completed"], "acc": round(state["acc"], 9)}
+        yield  # pragma: no cover

@@ -1,0 +1,44 @@
+"""Synthetic NAS BT (Block Tri-diagonal) communication kernel.
+
+BT uses a multipartition decomposition on a square process grid; each
+iteration performs line sweeps in each spatial direction, exchanging cell
+faces with the four grid neighbours (periodic boundaries).  Class D on 256
+processes moves ~791 GB in total over 250 time steps (Table I), i.e. about
+3.1 GB per iteration, which the face size below reproduces.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.workloads.nas.base import NASKernelBase, square_grid_side
+
+
+class BTApplication(NASKernelBase):
+    """Face exchange with the four torus neighbours of a square grid."""
+
+    name = "bt"
+    full_run_iterations = 250
+    default_compute_seconds = 12.0e-3
+    #: bytes per face message (calibrated for the class D total volume).
+    face_bytes = 3_000_000
+
+    def __init__(self, nprocs: int, iterations: int = 3, **kwargs) -> None:
+        super().__init__(nprocs, iterations, **kwargs)
+        self.side = square_grid_side(nprocs)
+
+    def coords(self, rank: int) -> Tuple[int, int]:
+        return divmod(rank, self.side)
+
+    def rank_of(self, row: int, col: int) -> int:
+        return (row % self.side) * self.side + (col % self.side)
+
+    def sends(self, rank: int) -> List[Tuple[int, int]]:
+        row, col = self.coords(rank)
+        neighbours = [
+            self.rank_of(row - 1, col),
+            self.rank_of(row + 1, col),
+            self.rank_of(row, col - 1),
+            self.rank_of(row, col + 1),
+        ]
+        return [(peer, self.face_bytes) for peer in neighbours if peer != rank]

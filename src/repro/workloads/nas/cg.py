@@ -1,0 +1,54 @@
+"""Synthetic NAS CG (Conjugate Gradient) communication kernel.
+
+CG distributes the sparse matrix over a square process grid.  Each conjugate
+gradient iteration exchanges partial vectors with partners *inside the same
+grid row* (a recursive-doubling reduction at distances 1, 2, 4, ... within
+the row) and swaps the result with the *transpose partner* (the process at
+the mirrored grid coordinates).  With 256 processes the rows have 16 members,
+which is why the paper's tool picks 16 clusters (one per row): all the
+row-internal traffic stays inside a cluster and only the transpose exchange
+is logged (~19 % of the volume, Table I).  Class D moves ~2.3 TB in total
+over 100 outer iterations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.workloads.nas.base import NASKernelBase, square_grid_side
+
+
+class CGApplication(NASKernelBase):
+    """Row-internal recursive-doubling exchange plus transpose-partner swap."""
+
+    name = "cg"
+    full_run_iterations = 100
+    default_compute_seconds = 10.0e-3
+    #: bytes of each row-internal partner exchange.
+    row_exchange_bytes = 18_000_000
+    #: bytes of the transpose-partner exchange.
+    transpose_bytes = 18_000_000
+
+    def __init__(self, nprocs: int, iterations: int = 3, **kwargs) -> None:
+        super().__init__(nprocs, iterations, **kwargs)
+        self.side = square_grid_side(nprocs)
+
+    def coords(self, rank: int) -> Tuple[int, int]:
+        return divmod(rank, self.side)
+
+    def rank_of(self, row: int, col: int) -> int:
+        return row * self.side + col
+
+    def sends(self, rank: int) -> List[Tuple[int, int]]:
+        row, col = self.coords(rank)
+        out: List[Tuple[int, int]] = []
+        distance = 1
+        while distance < self.side:
+            partner_col = col ^ distance
+            if partner_col < self.side:
+                out.append((self.rank_of(row, partner_col), self.row_exchange_bytes))
+            distance <<= 1
+        transpose = self.rank_of(col, row)
+        if transpose != rank:
+            out.append((transpose, self.transpose_bytes))
+        return out

@@ -1,0 +1,53 @@
+"""Synthetic NAS MG (Multi-Grid) communication kernel.
+
+MG performs V-cycles over a hierarchy of grids with periodic boundaries.  At
+the finest level each process exchanges large halos with its nearest grid
+neighbours; at coarser levels the halos shrink but the partners move further
+away in rank space (every other process participates).  The kernel models
+three levels: distance-1 neighbours with large halos, distance-2 with medium
+halos and distance-4 with small halos, on a periodic square grid.  Class D on
+256 processes moves ~66 GB over ~50 V-cycles (Table I).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.workloads.nas.base import NASKernelBase, square_grid_side
+
+
+class MGApplication(NASKernelBase):
+    """Multi-level halo exchange on a periodic square grid."""
+
+    name = "mg"
+    full_run_iterations = 50
+    default_compute_seconds = 4.0e-3
+    #: (rank-space distance, halo bytes) per level, finest first.
+    levels = ((1, 1_000_000), (2, 250_000), (4, 60_000))
+
+    def __init__(self, nprocs: int, iterations: int = 3, **kwargs) -> None:
+        super().__init__(nprocs, iterations, **kwargs)
+        self.side = square_grid_side(nprocs)
+
+    def coords(self, rank: int) -> Tuple[int, int]:
+        return divmod(rank, self.side)
+
+    def rank_of(self, row: int, col: int) -> int:
+        return (row % self.side) * self.side + (col % self.side)
+
+    def sends(self, rank: int) -> List[Tuple[int, int]]:
+        row, col = self.coords(rank)
+        out: List[Tuple[int, int]] = []
+        for distance, nbytes in self.levels:
+            if distance >= self.side:
+                continue
+            partners = {
+                self.rank_of(row - distance, col),
+                self.rank_of(row + distance, col),
+                self.rank_of(row, col - distance),
+                self.rank_of(row, col + distance),
+            }
+            for peer in sorted(partners):
+                if peer != rank:
+                    out.append((peer, nbytes))
+        return out

@@ -1,0 +1,88 @@
+"""NetPIPE-style ping-pong workload (Figure 5).
+
+NetPIPE measures the half round-trip latency and the derived bandwidth of a
+two-process ping-pong across a sweep of message sizes.  The paper uses it to
+quantify the cost of HydEE's piggybacked (date, phase) pair and of
+sender-based payload logging on the Myrinet 10G network:
+
+* between two processes of the *same* cluster ("HydEE no logging") only the
+  piggyback is paid;
+* between two processes of *different* clusters ("HydEE logging") the
+  payload memcpy is paid as well -- and turns out to be invisible because it
+  overlaps with the transfer (Section V-C).
+
+The workload measures timings from inside the simulation (via ``comm.now``)
+so that exactly the same code path runs for the native and HydEE
+configurations; the analytic counterpart lives in
+:mod:`repro.analysis.netpipe_analysis`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from repro.errors import WorkloadError
+from repro.simulator.network import netpipe_sizes
+from repro.workloads.base import Application
+
+
+class PingPongApplication(Application):
+    """Two-rank ping-pong over a sweep of message sizes.
+
+    One application iteration measures every size in :attr:`sizes` with
+    :attr:`repeats` round trips each; rank 0's finalize result contains the
+    measured half round-trip per size.
+    """
+
+    name = "netpipe"
+
+    def __init__(
+        self,
+        nprocs: int = 2,
+        iterations: int = 1,
+        sizes: Optional[Sequence[int]] = None,
+        repeats: int = 3,
+        max_bytes: int = 1 << 20,
+    ) -> None:
+        if nprocs != 2:
+            raise WorkloadError("the ping-pong workload uses exactly 2 ranks")
+        super().__init__(nprocs, iterations)
+        self.sizes: List[int] = list(sizes) if sizes is not None else list(netpipe_sizes(max_bytes))
+        if not self.sizes:
+            raise WorkloadError("ping-pong needs at least one message size")
+        self.repeats = int(repeats)
+
+    def setup(self, rank: int, nprocs: int) -> Dict[str, Any]:
+        return {"half_rtt": {}}
+
+    def iteration(self, comm, rank: int, state: Dict[str, Any], it: int) -> Iterator:
+        peer = 1 - rank
+        for size in self.sizes:
+            start = comm.now
+            for _ in range(self.repeats):
+                if rank == 0:
+                    yield from comm.send(peer, payload=size, tag=70, size_bytes=size)
+                    yield from comm.recv(source=peer, tag=71)
+                else:
+                    yield from comm.recv(source=peer, tag=70)
+                    yield from comm.send(peer, payload=size, tag=71, size_bytes=size)
+            elapsed = comm.now - start
+            # Each repeat is a full round trip; NetPIPE reports half of it.
+            state["half_rtt"][size] = elapsed / (2.0 * self.repeats)
+
+    def finalize(self, comm, rank: int, state: Dict[str, Any]) -> Iterator:
+        measurements = {
+            size: {
+                "latency_s": rtt,
+                "bandwidth_bytes_per_s": (size / rtt) if rtt > 0 else 0.0,
+            }
+            for size, rtt in state["half_rtt"].items()
+        }
+        return {"rank": rank, "measurements": measurements}
+        yield  # pragma: no cover
+
+    def parameters(self) -> Dict[str, Any]:
+        params = super().parameters()
+        params.update(sizes=len(self.sizes), repeats=self.repeats,
+                      max_size=max(self.sizes))
+        return params

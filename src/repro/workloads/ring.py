@@ -1,0 +1,114 @@
+"""Ring / pipeline exchange workloads.
+
+Small, fully deterministic workloads used by unit and property tests: each
+rank sends a token to its right neighbour and receives from its left
+neighbour every iteration, then performs a fixed amount of local work.  The
+final state is a function of every received token, so a single corrupted or
+duplicated delivery changes the result -- which is exactly what the recovery
+correctness tests want to detect.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator
+
+from repro.workloads.base import Application
+
+
+class RingApplication(Application):
+    """Unidirectional ring exchange."""
+
+    name = "ring"
+
+    def __init__(
+        self,
+        nprocs: int,
+        iterations: int = 4,
+        message_bytes: int = 1024,
+        compute_seconds: float = 10.0e-6,
+    ) -> None:
+        super().__init__(nprocs, iterations)
+        self.message_bytes = message_bytes
+        self.compute_seconds = compute_seconds
+
+    def setup(self, rank: int, nprocs: int) -> Dict[str, Any]:
+        return {"value": float(rank + 1), "received": []}
+
+    def iteration(self, comm, rank: int, state: Dict[str, Any], it: int) -> Iterator:
+        if self.nprocs == 1:
+            yield from comm.compute(self.compute_seconds)
+            state["value"] += 1.0
+            return
+        right = (rank + 1) % self.nprocs
+        left = (rank - 1) % self.nprocs
+        token = round(state["value"] * (it + 1), 6)
+        sreq = comm.isend(right, payload=token, tag=10, size_bytes=self.message_bytes)
+        message = yield from comm.recv(source=left, tag=10)
+        yield from comm.wait(sreq)
+        state["received"].append(message.payload)
+        state["value"] = round(state["value"] + 0.5 * message.payload, 6)
+        yield from comm.compute(self.compute_seconds)
+
+    def finalize(self, comm, rank: int, state: Dict[str, Any]) -> Iterator:
+        return {"rank": rank, "value": state["value"], "received": tuple(state["received"])}
+        yield  # pragma: no cover
+
+    def parameters(self) -> Dict[str, Any]:
+        params = super().parameters()
+        params.update(message_bytes=self.message_bytes, compute_seconds=self.compute_seconds)
+        return params
+
+
+class PipelineApplication(Application):
+    """Linear pipeline: rank 0 produces, each rank transforms and forwards.
+
+    Exhibits long happened-before chains across many processes, which is the
+    stress case for HydEE's phase mechanism (a message late in the pipeline
+    causally depends on many earlier inter-cluster messages).
+    """
+
+    name = "pipeline"
+
+    def __init__(
+        self,
+        nprocs: int,
+        iterations: int = 4,
+        message_bytes: int = 2048,
+        compute_seconds: float = 5.0e-6,
+    ) -> None:
+        super().__init__(nprocs, iterations)
+        self.message_bytes = message_bytes
+        self.compute_seconds = compute_seconds
+
+    def setup(self, rank: int, nprocs: int) -> Dict[str, Any]:
+        return {"acc": 0.0}
+
+    def iteration(self, comm, rank: int, state: Dict[str, Any], it: int) -> Iterator:
+        nprocs = self.nprocs
+        if nprocs == 1:
+            yield from comm.compute(self.compute_seconds)
+            state["acc"] += it + 1.0
+            return
+        if rank == 0:
+            value = float(it + 1)
+            yield from comm.compute(self.compute_seconds)
+            yield from comm.send(1, payload=value, tag=20, size_bytes=self.message_bytes)
+            state["acc"] += value
+        else:
+            message = yield from comm.recv(source=rank - 1, tag=20)
+            value = message.payload + 1.0
+            yield from comm.compute(self.compute_seconds)
+            if rank < nprocs - 1:
+                yield from comm.send(
+                    rank + 1, payload=value, tag=20, size_bytes=self.message_bytes
+                )
+            state["acc"] += value
+
+    def finalize(self, comm, rank: int, state: Dict[str, Any]) -> Iterator:
+        return {"rank": rank, "acc": state["acc"]}
+        yield  # pragma: no cover
+
+    def parameters(self) -> Dict[str, Any]:
+        params = super().parameters()
+        params.update(message_bytes=self.message_bytes, compute_seconds=self.compute_seconds)
+        return params

@@ -1,0 +1,194 @@
+"""Halo-exchange stencil workloads.
+
+These are the "typical HPC application" used in the quick-start example and
+in most recovery tests: a 1-D or 2-D domain decomposition where each rank
+exchanges halos with its neighbours every iteration and then updates its
+local block.  The communication pattern is static and nearest-neighbour,
+which is the kind of pattern that clusters extremely well (few inter-cluster
+channels), exactly the regime where HydEE's partial logging shines.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.base import Application
+
+
+class Stencil1DApplication(Application):
+    """1-D Jacobi-style stencil with left/right halo exchange."""
+
+    name = "stencil1d"
+
+    def __init__(
+        self,
+        nprocs: int,
+        iterations: int = 5,
+        points_per_rank: int = 64,
+        halo_bytes: int = 4096,
+        compute_seconds: float = 20.0e-6,
+    ) -> None:
+        super().__init__(nprocs, iterations)
+        self.points_per_rank = points_per_rank
+        self.halo_bytes = halo_bytes
+        self.compute_seconds = compute_seconds
+
+    def setup(self, rank: int, nprocs: int) -> Dict[str, Any]:
+        # Deterministic initial condition that differs per rank.
+        cells = [math.sin(0.1 * (rank * self.points_per_rank + i)) for i in range(self.points_per_rank)]
+        return {"cells": cells}
+
+    def iteration(self, comm, rank: int, state: Dict[str, Any], it: int) -> Iterator:
+        cells: List[float] = state["cells"]
+        left = rank - 1 if rank > 0 else None
+        right = rank + 1 if rank < self.nprocs - 1 else None
+
+        requests = []
+        if left is not None:
+            requests.append(comm.isend(left, payload=round(cells[0], 9), tag=30,
+                                        size_bytes=self.halo_bytes))
+            requests.append(comm.irecv(source=left, tag=30))
+        if right is not None:
+            requests.append(comm.isend(right, payload=round(cells[-1], 9), tag=30,
+                                        size_bytes=self.halo_bytes))
+            requests.append(comm.irecv(source=right, tag=30))
+        values = yield from comm.waitall(requests)
+
+        left_halo = cells[0]
+        right_halo = cells[-1]
+        # Receive completions are interleaved with send completions in the
+        # request list; pick the messages out by their source.
+        for value in values:
+            if value is None:
+                continue
+            if left is not None and value.source == left:
+                left_halo = value.payload
+            elif right is not None and value.source == right:
+                right_halo = value.payload
+
+        yield from comm.compute(self.compute_seconds)
+        extended = [left_halo] + cells + [right_halo]
+        state["cells"] = [
+            round((extended[i - 1] + extended[i] + extended[i + 1]) / 3.0, 9)
+            for i in range(1, len(extended) - 1)
+        ]
+
+    def finalize(self, comm, rank: int, state: Dict[str, Any]) -> Iterator:
+        local_sum = round(sum(state["cells"]), 9)
+        return {"rank": rank, "sum": local_sum}
+        yield  # pragma: no cover
+
+    def parameters(self) -> Dict[str, Any]:
+        params = super().parameters()
+        params.update(
+            points_per_rank=self.points_per_rank,
+            halo_bytes=self.halo_bytes,
+            compute_seconds=self.compute_seconds,
+        )
+        return params
+
+    def communication_matrix(self, weight: str = "bytes") -> np.ndarray:
+        per_message = self.halo_bytes if weight == "bytes" else 1
+        matrix = np.zeros((self.nprocs, self.nprocs))
+        for rank in range(self.nprocs):
+            for nbr in (rank - 1, rank + 1):
+                if 0 <= nbr < self.nprocs:
+                    matrix[rank, nbr] += per_message * self.iterations
+        return matrix
+
+
+class Stencil2DApplication(Application):
+    """2-D five-point stencil on a process grid with N/S/E/W halo exchange."""
+
+    name = "stencil2d"
+
+    def __init__(
+        self,
+        nprocs: int,
+        iterations: int = 5,
+        halo_bytes: int = 8192,
+        compute_seconds: float = 40.0e-6,
+        grid: Tuple[int, int] = None,
+    ) -> None:
+        super().__init__(nprocs, iterations)
+        self.grid = grid or _near_square_grid(nprocs)
+        if self.grid[0] * self.grid[1] != nprocs:
+            raise WorkloadError(
+                f"stencil2d grid {self.grid} does not match nprocs={nprocs}"
+            )
+        self.halo_bytes = halo_bytes
+        self.compute_seconds = compute_seconds
+
+    # -- process grid helpers -------------------------------------------------
+    def coords(self, rank: int) -> Tuple[int, int]:
+        cols = self.grid[1]
+        return rank // cols, rank % cols
+
+    def rank_of(self, row: int, col: int) -> int:
+        return row * self.grid[1] + col
+
+    def neighbours(self, rank: int) -> List[int]:
+        row, col = self.coords(rank)
+        rows, cols = self.grid
+        out = []
+        if row > 0:
+            out.append(self.rank_of(row - 1, col))
+        if row < rows - 1:
+            out.append(self.rank_of(row + 1, col))
+        if col > 0:
+            out.append(self.rank_of(row, col - 1))
+        if col < cols - 1:
+            out.append(self.rank_of(row, col + 1))
+        return out
+
+    # -- application hooks ----------------------------------------------------
+    def setup(self, rank: int, nprocs: int) -> Dict[str, Any]:
+        return {"value": float(rank % 17) + 1.0, "halo_sum": 0.0}
+
+    def iteration(self, comm, rank: int, state: Dict[str, Any], it: int) -> Iterator:
+        neighbours = self.neighbours(rank)
+        requests = []
+        outgoing = round(state["value"] * (it + 1), 9)
+        for nbr in neighbours:
+            requests.append(
+                comm.isend(nbr, payload=outgoing, tag=31, size_bytes=self.halo_bytes)
+            )
+            requests.append(comm.irecv(source=nbr, tag=31))
+        values = yield from comm.waitall(requests)
+        halo_sum = 0.0
+        for value in values:
+            if value is not None:
+                halo_sum += value.payload
+        yield from comm.compute(self.compute_seconds)
+        state["halo_sum"] = round(state["halo_sum"] + halo_sum, 9)
+        state["value"] = round(0.5 * state["value"] + 0.1 * halo_sum, 9)
+
+    def finalize(self, comm, rank: int, state: Dict[str, Any]) -> Iterator:
+        return {"rank": rank, "value": state["value"], "halo_sum": state["halo_sum"]}
+        yield  # pragma: no cover
+
+    def parameters(self) -> Dict[str, Any]:
+        params = super().parameters()
+        params.update(grid=self.grid, halo_bytes=self.halo_bytes,
+                      compute_seconds=self.compute_seconds)
+        return params
+
+    def communication_matrix(self, weight: str = "bytes") -> np.ndarray:
+        per_message = self.halo_bytes if weight == "bytes" else 1
+        matrix = np.zeros((self.nprocs, self.nprocs))
+        for rank in range(self.nprocs):
+            for nbr in self.neighbours(rank):
+                matrix[rank, nbr] += per_message * self.iterations
+        return matrix
+
+
+def _near_square_grid(nprocs: int) -> Tuple[int, int]:
+    """Largest factorisation rows x cols with rows <= cols and rows maximal."""
+    rows = int(math.isqrt(nprocs))
+    while rows > 1 and nprocs % rows != 0:
+        rows -= 1
+    return rows, nprocs // rows

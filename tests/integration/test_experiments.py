@@ -1,0 +1,158 @@
+"""Integration tests for the experiment harnesses (Table I, Figures 5-6,
+containment) and their command-line entry points."""
+
+import pytest
+
+from repro.analysis import (
+    analytic_netpipe_experiment,
+    build_figure6,
+    build_table1,
+    render_containment,
+    render_figure6,
+    render_table1,
+    run_containment_experiment,
+    run_netpipe_experiment,
+)
+from repro.clustering.presets import TABLE1_PAPER_VALUES
+from repro.experiments import ablation_clusters, ablation_piggyback, table1
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return build_table1(nprocs=256)
+
+    def test_all_six_benchmarks_present(self, rows):
+        assert sorted(r.benchmark for r in rows) == ["bt", "cg", "ft", "lu", "mg", "sp"]
+
+    def test_cluster_counts_match_paper(self, rows):
+        for row in rows:
+            assert row.num_clusters == TABLE1_PAPER_VALUES[row.benchmark]["clusters"]
+
+    def test_rollback_fraction_close_to_paper(self, rows):
+        for row in rows:
+            paper = TABLE1_PAPER_VALUES[row.benchmark]["rollback_pct"]
+            assert row.rollback_pct == pytest.approx(paper, abs=6.0), row.benchmark
+
+    def test_logged_fraction_close_to_paper(self, rows):
+        for row in rows:
+            paper = TABLE1_PAPER_VALUES[row.benchmark]["logged_pct"]
+            assert row.logged_pct == pytest.approx(paper, abs=8.0), row.benchmark
+
+    def test_ft_is_the_outlier_as_in_the_paper(self, rows):
+        by_name = {r.benchmark: r for r in rows}
+        assert by_name["ft"].logged_pct > 40
+        assert all(by_name[b].logged_pct < 30 for b in ("bt", "cg", "lu", "mg", "sp"))
+
+    def test_total_volumes_same_order_of_magnitude_as_paper(self, rows):
+        for row in rows:
+            paper_total = TABLE1_PAPER_VALUES[row.benchmark]["total_gb"]
+            assert 0.5 * paper_total <= row.total_gb <= 2.0 * paper_total, row.benchmark
+
+    def test_render_table(self, rows):
+        text = render_table1(rows)
+        assert "BT" in text and "paper" in text.lower()
+
+    def test_cli_entry_point(self, capsys):
+        assert table1.main(["--nprocs", "64", "--benchmarks", "bt", "cg"]) == 0
+        out = capsys.readouterr().out
+        assert "BT" in out and "CG" in out
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        sizes = [1, 16, 32, 64, 512, 4096, 65536, 1 << 20]
+        return run_netpipe_experiment(sizes=sizes, repeats=2)
+
+    def test_hydee_never_faster_than_native(self, result):
+        for config in ("hydee_no_logging", "hydee_logging"):
+            assert all(v <= 1e-9 for v in result.latency_reduction_pct(config))
+            assert all(v <= 1e-9 for v in result.bandwidth_reduction_pct(config))
+
+    def test_overhead_small_and_vanishes_for_large_messages(self, result):
+        degradation = result.latency_reduction_pct("hydee_logging")
+        assert degradation[-1] > -2.5          # >= 64 KiB: almost no overhead
+        assert min(degradation) > -45.0        # worst case bounded (peaks of Fig. 5)
+
+    def test_logging_and_no_logging_nearly_equivalent(self, result):
+        """Section V-C: sender-based logging itself is invisible."""
+        for log, no_log in zip(result.latency_reduction_pct("hydee_logging"),
+                               result.latency_reduction_pct("hydee_no_logging")):
+            assert abs(log - no_log) < 5.0
+
+    def test_piggyback_peak_exists_at_plateau_crossing(self, result):
+        by_size = dict(zip(result.sizes, result.latency_reduction_pct("hydee_no_logging")))
+        # 32 B + 12 piggybacked bytes crosses the first MX latency plateau.
+        assert by_size[32] < by_size[1] - 5.0
+
+    def test_simulation_matches_analytic_model(self, result):
+        model = analytic_netpipe_experiment(sizes=result.sizes)
+        simulated = result.latency_reduction_pct("hydee_logging")
+        predicted = model["latency_reduction_logging_pct"]
+        for sim_v, model_v in zip(simulated, predicted):
+            assert sim_v == pytest.approx(model_v, abs=3.0)
+
+    def test_text_rendering(self, result):
+        assert "Figure 5" in result.as_text()
+
+
+class TestFigure6:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return build_figure6(benchmarks=["lu", "mg"], nprocs=16, iterations=2)
+
+    def test_normalized_times_shape(self, rows):
+        for row in rows:
+            assert row.normalized("native") == pytest.approx(1.0)
+            assert 1.0 < row.normalized("hydee") < 1.08
+            assert row.normalized("hydee") <= row.normalized("message_logging") + 1e-6
+
+    def test_hydee_logs_less_than_message_logging(self, rows):
+        for row in rows:
+            assert row.logged_fraction["hydee"] < row.logged_fraction["message_logging"]
+            assert row.logged_fraction["message_logging"] == pytest.approx(1.0)
+
+    def test_render(self, rows):
+        text = render_figure6(rows)
+        assert "Figure 6" in text and "LU" in text
+
+
+class TestContainmentExperiment:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_containment_experiment(nprocs=16, iterations=6, fail_at_iteration=4)
+
+    def test_all_protocols_recover_correctly(self, rows):
+        assert all(row.results_match_reference for row in rows)
+        assert all(row.send_sequences_match for row in rows)
+
+    def test_rollback_ordering(self, rows):
+        by_name = {row.protocol: row for row in rows}
+        assert by_name["message-logging"].ranks_rolled_back == 1
+        assert by_name["hydee"].ranks_rolled_back == 4
+        assert by_name["coordinated"].ranks_rolled_back == 16
+
+    def test_hydee_replays_and_suppresses(self, rows):
+        hydee = next(row for row in rows if row.protocol == "hydee")
+        assert hydee.replayed_messages > 0
+        assert hydee.suppressed_orphans > 0
+
+    def test_render(self, rows):
+        assert "protocol" in render_containment(rows)
+
+
+class TestAblations:
+    def test_piggyback_ablation_policies_ordering(self):
+        rows = ablation_piggyback.run(sizes=[16, 64, 2048, 65536])
+        for row in rows:
+            assert row["none_pct"] == pytest.approx(0.0, abs=1e-9)
+            assert row["inline-small-separate-large_pct"] >= 0.0
+            # logging adds a bounded extra cost
+            assert 0.0 <= row["logging_extra_pct"] < 10.0
+
+    def test_cluster_sweep_frontier(self):
+        rows = ablation_clusters.run(benchmark="bt", nprocs=64, counts=[2, 4, 8])
+        rollbacks = [row["rollback_pct"] for row in rows]
+        assert rollbacks == sorted(rollbacks, reverse=True)
+        assert all(0 <= row["logged_pct"] <= 100 for row in rows)

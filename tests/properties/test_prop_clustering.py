@@ -1,0 +1,94 @@
+"""Property-based tests for the clustering substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.clustering import (
+    CommunicationGraph,
+    block_partition,
+    evaluate_clustering,
+    greedy_agglomerative,
+    partition,
+    refine,
+    rollback_fraction,
+)
+
+
+@st.composite
+def volume_matrices(draw, max_n=12):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    matrix = draw(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=(n, n),
+            elements=st.floats(min_value=0.0, max_value=1000.0),
+        )
+    )
+    np.fill_diagonal(matrix, 0.0)
+    return matrix
+
+
+@given(volume_matrices(), st.integers(min_value=1, max_value=12))
+@settings(max_examples=60, deadline=None)
+def test_partition_is_always_a_valid_partition(matrix, k):
+    n = matrix.shape[0]
+    k = min(k, n)
+    result = partition(matrix, k, method="auto")
+    ranks = sorted(r for cluster in result.clusters for r in cluster)
+    assert ranks == list(range(n))
+    assert result.metrics.num_clusters == len(result.clusters)
+    # Allow for float-summation rounding in the ratio.
+    assert 0.0 <= result.metrics.logged_fraction <= 1.0 + 1e-9
+    assert 1.0 / n <= result.metrics.rollback_fraction <= 1.0
+
+
+@given(volume_matrices(), st.integers(min_value=1, max_value=12))
+@settings(max_examples=60, deadline=None)
+def test_greedy_produces_requested_cluster_count(matrix, k):
+    n = matrix.shape[0]
+    k = min(k, n)
+    clusters = greedy_agglomerative(matrix, k)
+    assert len(clusters) == k
+    assert sorted(r for c in clusters for r in c) == list(range(n))
+
+
+@given(volume_matrices())
+@settings(max_examples=40, deadline=None)
+def test_refine_never_increases_cut(matrix):
+    n = matrix.shape[0]
+    k = max(2, n // 3)
+    graph = CommunicationGraph.from_matrix(matrix)
+    initial = block_partition(n, k)
+    refined = refine(graph, initial)
+    assert graph.cut_bytes(refined) <= graph.cut_bytes(initial) + 1e-9
+    assert sorted(r for c in refined for r in c) == list(range(n))
+
+
+@given(st.integers(min_value=1, max_value=64), st.integers(min_value=1, max_value=64))
+def test_block_partition_sizes_are_balanced(n, k):
+    k = min(k, n)
+    clusters = block_partition(n, k)
+    sizes = [len(c) for c in clusters]
+    assert sum(sizes) == n
+    assert max(sizes) - min(sizes) <= 1
+    assert rollback_fraction(sizes, n) <= 1.0
+
+
+@given(volume_matrices())
+@settings(max_examples=40, deadline=None)
+def test_cut_bytes_plus_internal_equals_total(matrix):
+    n = matrix.shape[0]
+    graph = CommunicationGraph.from_matrix(matrix)
+    k = max(2, n // 2)
+    clusters = block_partition(n, k)
+    metrics = evaluate_clustering(graph, clusters)
+    internal = graph.total_bytes - metrics.logged_bytes
+    assert internal >= -1e-9
+    assert metrics.logged_bytes <= graph.total_bytes + 1e-9
+    # Single cluster logs nothing; singleton clusters log everything (up to
+    # float-summation rounding).
+    assert evaluate_clustering(graph, [list(range(n))]).logged_bytes == 0.0
+    singleton = evaluate_clustering(graph, [[r] for r in range(n)])
+    assert abs(singleton.logged_bytes - graph.total_bytes) <= 1e-6 * max(1.0, graph.total_bytes)

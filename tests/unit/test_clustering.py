@@ -1,0 +1,158 @@
+"""Unit tests for the communication graph, metrics and partitioners."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import (
+    CommunicationGraph,
+    block_partition,
+    choose_clustering,
+    cluster_application,
+    evaluate_clustering,
+    greedy_agglomerative,
+    partition,
+    refine,
+    repartition_online,
+    rollback_fraction,
+    sweep_cluster_counts,
+    preset_cluster_count,
+)
+from repro.errors import ClusteringError
+from repro.simulator.trace import TraceRecorder
+from repro.simulator.messages import Message
+from repro.workloads import Stencil2DApplication
+
+
+def two_blocks_matrix(n=8, heavy=1000.0, light=1.0):
+    """Two groups of n/2 ranks with heavy intra-group and light inter-group traffic."""
+    matrix = np.full((n, n), light)
+    np.fill_diagonal(matrix, 0.0)
+    half = n // 2
+    matrix[:half, :half] = heavy
+    matrix[half:, half:] = heavy
+    np.fill_diagonal(matrix, 0.0)
+    return matrix
+
+
+class TestCommunicationGraph:
+    def test_validation(self):
+        with pytest.raises(ClusteringError):
+            CommunicationGraph(volume=np.zeros((2, 3)))
+        with pytest.raises(ClusteringError):
+            CommunicationGraph(volume=-np.ones((2, 2)))
+
+    def test_from_trace(self):
+        trace = TraceRecorder()
+        trace.record_send(Message(source=0, dest=1, tag=0, size_bytes=100), 0.0)
+        trace.record_send(Message(source=1, dest=0, tag=0, size_bytes=40), 0.0)
+        graph = CommunicationGraph.from_trace(trace, nprocs=2)
+        assert graph.total_bytes == 140
+        assert graph.channel_bytes(0, 1) == 100
+        assert graph.messages[0, 1] == 1
+
+    def test_from_application_uses_analytic_matrix(self):
+        app = Stencil2DApplication(nprocs=16, iterations=2)
+        graph = CommunicationGraph.from_application(app)
+        assert graph.nprocs == 16
+        assert graph.total_bytes > 0
+
+    def test_cut_bytes(self):
+        graph = CommunicationGraph.from_matrix(two_blocks_matrix(4, heavy=10, light=1))
+        clusters = [[0, 1], [2, 3]]
+        # inter-group entries: 2x2 block in each direction at weight 1 -> 8.
+        assert graph.cut_bytes(clusters) == pytest.approx(8.0)
+        with pytest.raises(ClusteringError):
+            graph.cut_bytes([[0, 1]])
+
+    def test_to_networkx_symmetric_weights(self):
+        graph = CommunicationGraph.from_matrix(np.array([[0, 5], [3, 0]], dtype=float))
+        nx_graph = graph.to_networkx()
+        assert nx_graph[0][1]["weight"] == pytest.approx(8.0)
+
+    def test_heaviest_channels(self):
+        graph = CommunicationGraph.from_matrix(two_blocks_matrix(4, heavy=10, light=1))
+        top = graph.heaviest_channels(k=2)
+        assert len(top) == 2
+        assert all(weight == pytest.approx(20.0) for _, _, weight in top)
+
+
+class TestMetrics:
+    def test_rollback_fraction_balanced(self):
+        assert rollback_fraction([4, 4, 4, 4], 16) == pytest.approx(0.25)
+
+    def test_rollback_fraction_unbalanced_is_larger(self):
+        balanced = rollback_fraction([8, 8], 16)
+        skewed = rollback_fraction([12, 4], 16)
+        assert skewed > balanced
+
+    def test_evaluate_clustering(self):
+        graph = CommunicationGraph.from_matrix(two_blocks_matrix(8))
+        metrics = evaluate_clustering(graph, [[0, 1, 2, 3], [4, 5, 6, 7]])
+        assert metrics.num_clusters == 2
+        assert metrics.rollback_fraction == pytest.approx(0.5)
+        assert 0 < metrics.logged_fraction < 0.05  # only the light edges cross
+        with pytest.raises(ClusteringError):
+            evaluate_clustering(graph, [[0, 1], [2, 3]])  # not a partition
+
+
+class TestPartitioners:
+    def test_block_partition_sizes(self):
+        clusters = block_partition(10, 3)
+        assert [len(c) for c in clusters] == [4, 3, 3]
+        assert sorted(r for c in clusters for r in c) == list(range(10))
+        with pytest.raises(ClusteringError):
+            block_partition(4, 9)
+
+    def test_greedy_finds_natural_groups(self):
+        matrix = two_blocks_matrix(8)
+        clusters = greedy_agglomerative(matrix, 2)
+        assert sorted(sorted(c) for c in clusters) == [[0, 1, 2, 3], [4, 5, 6, 7]]
+
+    def test_greedy_respects_requested_count(self):
+        matrix = two_blocks_matrix(12)
+        for k in (2, 3, 4, 6, 12):
+            clusters = greedy_agglomerative(matrix, k)
+            assert len(clusters) == k
+            assert sorted(r for c in clusters for r in c) == list(range(12))
+
+    def test_refine_reduces_or_keeps_cut(self):
+        graph = CommunicationGraph.from_matrix(two_blocks_matrix(8))
+        bad = [[0, 1, 2, 4], [3, 5, 6, 7]]  # 3 and 4 swapped across the natural cut
+        refined = refine(graph, bad)
+        assert graph.cut_bytes(refined) <= graph.cut_bytes(bad)
+
+    def test_partition_returns_metrics_and_valid_partition(self):
+        result = partition(two_blocks_matrix(8), 2, method="auto")
+        assert result.metrics.num_clusters == 2
+        assert sorted(r for c in result.clusters for r in c) == list(range(8))
+        assert result.metrics.logged_fraction < 0.05
+
+    def test_partition_invalid_method(self):
+        with pytest.raises(ClusteringError):
+            partition(two_blocks_matrix(4), 2, method="does-not-exist")
+
+    def test_cluster_application_partitions_all_ranks(self):
+        app = Stencil2DApplication(nprocs=16, iterations=2)
+        clusters = cluster_application(app, num_clusters=4)
+        assert sorted(r for c in clusters for r in c) == list(range(16))
+        assert len(clusters) == 4
+
+    def test_sweep_cluster_counts_monotone_rollback(self):
+        results = sweep_cluster_counts(two_blocks_matrix(16), [2, 4, 8])
+        rollbacks = [r.metrics.rollback_fraction for r in results]
+        assert rollbacks == sorted(rollbacks, reverse=True)
+
+    def test_choose_clustering_respects_rollback_budget(self):
+        result = choose_clustering(two_blocks_matrix(16), max_rollback_fraction=0.3)
+        assert result.metrics.rollback_fraction <= 0.3 + 1e-9
+
+    def test_repartition_online_keeps_partition_valid(self):
+        matrix = two_blocks_matrix(8)
+        initial = block_partition(8, 2)
+        result = repartition_online(initial, matrix)
+        assert sorted(r for c in result.clusters for r in c) == list(range(8))
+        assert result.metrics.num_clusters == 2
+
+    def test_preset_cluster_counts(self):
+        assert preset_cluster_count("BT") == 5
+        assert preset_cluster_count("ft") == 2

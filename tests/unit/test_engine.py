@@ -1,0 +1,153 @@
+"""Unit tests for the discrete-event engine and Condition primitive."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator.engine import Condition, SimulationEngine
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        engine = SimulationEngine()
+        order = []
+        engine.schedule(3.0, order.append, "c")
+        engine.schedule(1.0, order.append, "a")
+        engine.schedule(2.0, order.append, "b")
+        assert engine.run() == "empty"
+        assert order == ["a", "b", "c"]
+
+    def test_ties_broken_by_insertion_order(self):
+        engine = SimulationEngine()
+        order = []
+        for label in "abcde":
+            engine.schedule(1.0, order.append, label)
+        engine.run()
+        assert order == list("abcde")
+
+    def test_now_advances_to_event_time(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule(2.5, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [2.5]
+        assert engine.now == 2.5
+
+    def test_negative_delay_rejected(self):
+        engine = SimulationEngine()
+        with pytest.raises(SimulationError):
+            engine.schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        engine = SimulationEngine()
+        engine.schedule(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(1.0, lambda: None)
+
+    def test_cancelled_event_does_not_run(self):
+        engine = SimulationEngine()
+        order = []
+        handle = engine.schedule(1.0, order.append, "x")
+        engine.schedule(2.0, order.append, "y")
+        handle.cancel()
+        engine.run()
+        assert order == ["y"]
+        assert handle.cancelled
+
+    def test_events_scheduled_during_run_execute(self):
+        engine = SimulationEngine()
+        order = []
+
+        def first():
+            order.append("first")
+            engine.schedule(1.0, order.append, "second")
+
+        engine.schedule(1.0, first)
+        engine.run()
+        assert order == ["first", "second"]
+        assert engine.now == 2.0
+
+    def test_run_until_time_stops_before_later_events(self):
+        engine = SimulationEngine()
+        order = []
+        engine.schedule(1.0, order.append, "a")
+        engine.schedule(10.0, order.append, "b")
+        reason = engine.run(until_time=5.0)
+        assert reason == "until_time"
+        assert order == ["a"]
+        assert engine.now == 5.0
+        assert engine.pending_events == 1
+
+    def test_run_max_events(self):
+        engine = SimulationEngine()
+        for i in range(10):
+            engine.schedule(float(i + 1), lambda: None)
+        reason = engine.run(max_events=4)
+        assert reason == "max_events"
+        assert engine.events_processed == 4
+
+    def test_stop_predicate(self):
+        engine = SimulationEngine()
+        hits = []
+        for i in range(5):
+            engine.schedule(float(i + 1), hits.append, i)
+        reason = engine.run(stop_predicate=lambda: len(hits) >= 2)
+        assert reason == "stopped"
+        assert len(hits) == 2
+
+    def test_step_returns_false_when_empty(self):
+        engine = SimulationEngine()
+        assert engine.step() is False
+
+    def test_events_processed_counter(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        engine.run()
+        assert engine.events_processed == 2
+
+
+class TestCondition:
+    def test_waiter_called_on_fire_with_value(self):
+        condition = Condition("test")
+        seen = []
+        condition.add_waiter(seen.append)
+        assert not condition.fired
+        condition.fire(42)
+        assert condition.fired
+        assert condition.value == 42
+        assert seen == [42]
+
+    def test_waiter_added_after_fire_called_immediately(self):
+        condition = Condition()
+        condition.fire("done")
+        seen = []
+        condition.add_waiter(seen.append)
+        assert seen == ["done"]
+
+    def test_double_fire_is_idempotent(self):
+        condition = Condition()
+        seen = []
+        condition.add_waiter(seen.append)
+        condition.fire(1)
+        condition.fire(2)
+        assert seen == [1]
+        assert condition.value == 1
+
+    def test_multiple_waiters_called_in_registration_order(self):
+        condition = Condition()
+        seen = []
+        condition.add_waiter(lambda _: seen.append("a"))
+        condition.add_waiter(lambda _: seen.append("b"))
+        condition.fire()
+        assert seen == ["a", "b"]
+
+    def test_reset_rearms_condition(self):
+        condition = Condition()
+        condition.fire(1)
+        condition.reset()
+        assert not condition.fired
+        seen = []
+        condition.add_waiter(seen.append)
+        condition.fire(2)
+        assert seen == [2]

@@ -1,0 +1,171 @@
+"""Unit tests for the baseline protocols, registry, analytic model and reporting."""
+
+import pytest
+
+from repro import (
+    CoordinatedCheckpointProtocol,
+    FullMessageLoggingProtocol,
+    HybridEventLoggingProtocol,
+    HydEEConfig,
+    HydEEProtocol,
+    NoFaultToleranceProtocol,
+    Simulation,
+    available_protocols,
+    make_protocol,
+)
+from repro.analysis.perf_model import (
+    analytic_pingpong_series,
+    iteration_overhead_estimate,
+    message_cost,
+)
+from repro.analysis.reporting import format_dict_table, format_series, format_table, percent
+from repro.errors import ConfigurationError, ProtocolError
+from repro.ftprotocols.base import normalize_clusters
+from repro.simulator.failures import FailureEvent, FailureInjector
+from repro.simulator.network import MyrinetMXModel, PiggybackPolicy
+from repro.workloads import MasterWorkerApplication, RingApplication
+
+
+class TestNormalizeClusters:
+    def test_none_means_single_cluster(self):
+        assert normalize_clusters(None, 4) == [[0, 1, 2, 3]]
+
+    def test_partition_validation(self):
+        with pytest.raises(ConfigurationError):
+            normalize_clusters([[0, 1], [1, 2]], 3)          # overlap
+        with pytest.raises(ConfigurationError):
+            normalize_clusters([[0, 1]], 3)                   # missing rank
+        with pytest.raises(ConfigurationError):
+            normalize_clusters([[0, 1], []], 2)               # empty cluster
+        with pytest.raises(ConfigurationError):
+            normalize_clusters([[0, 5]], 2)                   # out of range
+
+    def test_sorted_output(self):
+        assert normalize_clusters([[3, 1], [0, 2]], 4) == [[1, 3], [0, 2]]
+
+
+class TestRegistry:
+    def test_available_protocols(self):
+        names = available_protocols()
+        assert {"hydee", "coordinated", "message-logging", "native"} <= set(names)
+
+    def test_make_protocol_instances(self):
+        assert isinstance(make_protocol("native"), NoFaultToleranceProtocol)
+        assert isinstance(make_protocol("coordinated"), CoordinatedCheckpointProtocol)
+        assert isinstance(make_protocol("message-logging"), FullMessageLoggingProtocol)
+        assert isinstance(make_protocol("hybrid-event-logging"), HybridEventLoggingProtocol)
+        hydee = make_protocol("hydee", clusters=[[0, 1], [2, 3]])
+        assert isinstance(hydee, HydEEProtocol)
+        log_all = make_protocol("hydee-log-all")
+        assert log_all.config.log_all_messages is True
+
+    def test_unknown_protocol(self):
+        with pytest.raises(ConfigurationError):
+            make_protocol("unknown-protocol")
+
+
+class TestNoFaultTolerance:
+    def test_failure_aborts_execution(self):
+        app = RingApplication(nprocs=4, iterations=4)
+        injector = FailureInjector([FailureEvent(ranks=[2], at_iteration=2)])
+        sim = Simulation(app, nprocs=4, protocol=NoFaultToleranceProtocol(), failures=injector)
+        with pytest.raises(ProtocolError):
+            sim.run()
+
+    def test_failure_can_be_tolerated_for_reporting(self):
+        app = RingApplication(nprocs=4, iterations=2)
+        protocol = NoFaultToleranceProtocol(abort_on_failure=False)
+        injector = FailureInjector([FailureEvent(ranks=[2], time=1.0)])
+        # The failure fires after completion here, so the run still succeeds.
+        result = Simulation(app, nprocs=4, protocol=protocol, failures=injector).run()
+        assert result.completed
+
+
+class TestHydEEConstruction:
+    def test_config_or_kwargs_but_not_both(self):
+        with pytest.raises(ConfigurationError):
+            HydEEProtocol(HydEEConfig(), checkpoint_interval=2)
+
+    def test_rejects_non_send_deterministic_application(self):
+        app = MasterWorkerApplication(nprocs=4)
+        protocol = HydEEProtocol(HydEEConfig(clusters=[[0, 1], [2, 3]]))
+        with pytest.raises(ConfigurationError):
+            Simulation(app, nprocs=4, protocol=protocol)
+
+    def test_enforcement_can_be_disabled(self):
+        app = MasterWorkerApplication(nprocs=4, tasks_per_worker=1)
+        protocol = HydEEProtocol(
+            HydEEConfig(clusters=[[0, 1], [2, 3]], enforce_send_determinism=False)
+        )
+        result = Simulation(app, nprocs=4, protocol=protocol).run()
+        assert result.completed
+
+    def test_cluster_helpers(self):
+        protocol = HydEEProtocol(HydEEConfig(clusters=[[0, 1], [2, 3]]))
+        Simulation(RingApplication(nprocs=4, iterations=1), nprocs=4, protocol=protocol)
+        assert protocol.cluster_of(0) == protocol.cluster_of(1)
+        assert protocol.is_inter_cluster(1, 2)
+        assert not protocol.is_inter_cluster(2, 3)
+        assert protocol.ranks_outside_cluster(0) == [2, 3]
+        assert protocol.num_clusters == 2
+
+
+class TestPerfModel:
+    def test_message_cost_logging_adds_memcpy_only(self):
+        network = MyrinetMXModel()
+        without = message_cost(network, 4096, logging=False)
+        with_log = message_cost(network, 4096, logging=True)
+        assert with_log.total_latency_s > without.total_latency_s
+        assert with_log.logging_latency_s == pytest.approx(network.memcpy_time(4096))
+
+    def test_piggyback_peak_at_plateau_boundary(self):
+        network = MyrinetMXModel()
+        # 32-byte payload + 12 piggyback bytes crosses the 3.3us -> 4us step.
+        at_boundary = message_cost(network, 32, piggyback_bytes=12,
+                                   policy=PiggybackPolicy.INLINE)
+        far_from_boundary = message_cost(network, 8, piggyback_bytes=12,
+                                         policy=PiggybackPolicy.INLINE)
+        assert at_boundary.overhead_fraction > far_from_boundary.overhead_fraction
+
+    def test_analytic_series_shape(self):
+        series = analytic_pingpong_series(sizes=[1, 32, 1024, 1 << 20])
+        assert len(series["sizes"]) == 4
+        # Overheads are reported as non-positive "reduction" percentages.
+        assert all(v <= 0.0 for v in series["latency_reduction_logging_pct"])
+        # Large messages see (almost) no degradation.
+        assert series["latency_reduction_logging_pct"][-1] > -2.5
+        # Logging never helps latency.
+        for no_log, log in zip(series["latency_reduction_no_logging_pct"],
+                               series["latency_reduction_logging_pct"]):
+            assert log <= no_log + 1e-9
+
+    def test_iteration_overhead_estimate_small(self):
+        network = MyrinetMXModel()
+        estimate = iteration_overhead_estimate(
+            network,
+            messages_per_rank=4,
+            message_bytes=1 << 20,
+            logged_fraction=0.2,
+            compute_seconds=5e-3,
+        )
+        assert 1.0 <= estimate < 1.05
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bee"], [[1, 2.5], ["xx", 0.001]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "-+-" in lines[1]
+
+    def test_format_dict_table_selects_columns(self):
+        rows = [{"x": 1, "y": 2, "z": 3}]
+        text = format_dict_table(rows, columns=["z", "x"])
+        assert "z" in text and "x" in text and "y" not in text.splitlines()[0]
+
+    def test_format_series_and_percent(self):
+        text = format_series("size", [1, 2], {"s": [10, 20]}, title="t")
+        assert text.startswith("t")
+        assert percent(110.0, 100.0) == pytest.approx(10.0)
+        assert percent(5.0, 0.0) == 0.0

@@ -1,0 +1,199 @@
+"""Unit tests for trace recording, stable storage, transport and failure injection."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.simulator.channel import Transport
+from repro.simulator.engine import SimulationEngine
+from repro.simulator.failures import FailureEvent, FailureInjector
+from repro.simulator.messages import Message
+from repro.simulator.network import MyrinetMXModel
+from repro.simulator.stable_storage import StableStorage
+from repro.simulator.trace import SendSignature, TraceRecorder, compare_send_sequences
+
+
+def _msg(source, dest, size=100, tag=0, payload=None):
+    return Message(source=source, dest=dest, tag=tag, size_bytes=size, payload=payload)
+
+
+class TestTraceRecorder:
+    def test_channel_volumes_accumulate(self):
+        trace = TraceRecorder()
+        trace.record_send(_msg(0, 1, 100), 0.0)
+        trace.record_send(_msg(0, 1, 50), 1.0)
+        trace.record_send(_msg(1, 0, 10), 2.0)
+        assert trace.channel_volumes[(0, 1)] == [2, 150]
+        assert trace.channel_volumes[(1, 0)] == [1, 10]
+        assert trace.total_bytes() == 160
+        assert trace.total_messages() == 3
+
+    def test_communication_matrix(self):
+        trace = TraceRecorder()
+        trace.record_send(_msg(0, 2, 64), 0.0)
+        matrix = trace.communication_matrix(3, weight="bytes")
+        assert matrix[0, 2] == 64
+        assert matrix.sum() == 64
+        counts = trace.communication_matrix(3, weight="messages")
+        assert counts[0, 2] == 1
+
+    def test_suppressed_sends_not_counted_in_volumes_but_in_sequence(self):
+        trace = TraceRecorder()
+        trace.record_send(_msg(0, 1, 100, payload="a"), 0.0, suppressed=True)
+        assert (0, 1) not in trace.channel_volumes
+        assert len(trace.send_sequences[0]) == 1
+
+    def test_replayed_sends_not_in_send_sequence(self):
+        trace = TraceRecorder()
+        message = _msg(0, 1, 100, payload="a")
+        clone = message.clone_for_replay()
+        trace.record_send(clone, 0.0)
+        assert 0 not in trace.send_sequences
+
+    def test_effective_sequence_without_restart_is_raw(self):
+        trace = TraceRecorder()
+        for i in range(3):
+            trace.record_send(_msg(0, 1, 10, payload=i), float(i))
+        assert trace.effective_send_sequence(0) == trace.send_sequences[0]
+
+    def test_effective_sequence_with_restart_truncates_rolled_back_suffix(self):
+        trace = TraceRecorder()
+        for i in range(4):
+            trace.record_send(_msg(0, 1, 10, payload=i), float(i))
+        # Rank 0 rolls back to a checkpoint taken after its 2nd send, then
+        # re-executes sends 2 and 3.
+        trace.mark_restart(0, sends_at_checkpoint=2)
+        for i in (2, 3):
+            trace.record_send(_msg(0, 1, 10, payload=i), 10.0 + i)
+        effective = trace.effective_send_sequence(0)
+        assert [sig.payload_repr for sig in effective] == ["0", "1", "2", "3"]
+        overlaps = trace.reexecution_overlaps(0)
+        assert len(overlaps) == 1
+        original, reexecuted = overlaps[0]
+        assert original == reexecuted
+
+    def test_compare_send_sequences_detects_divergence(self):
+        a, b = TraceRecorder(), TraceRecorder()
+        a.record_send(_msg(0, 1, 10, payload="x"), 0.0)
+        b.record_send(_msg(0, 1, 10, payload="y"), 0.0)
+        assert compare_send_sequences(a, b) == {0: (1, 1)}
+        b2 = TraceRecorder()
+        b2.record_send(_msg(0, 1, 10, payload="x"), 0.0)
+        assert compare_send_sequences(a, b2) == {}
+
+    def test_send_signature_ignores_timing(self):
+        sig_a = SendSignature.from_message(_msg(0, 1, 10, tag=3, payload="p"))
+        sig_b = SendSignature.from_message(_msg(0, 1, 10, tag=3, payload="p"))
+        assert sig_a == sig_b
+
+
+class TestStableStorage:
+    def test_checkpoint_state_is_isolated_copy(self):
+        storage = StableStorage()
+        state = {"values": [1, 2, 3]}
+        record = storage.save(rank=0, iteration=2, app_state=state, time=1.0)
+        state["values"].append(4)
+        restored = record.restore_app_state()
+        assert restored == {"values": [1, 2, 3]}
+        restored["values"].append(99)
+        assert record.restore_app_state() == {"values": [1, 2, 3]}
+
+    def test_latest_and_latest_common_iteration(self):
+        storage = StableStorage()
+        storage.save(rank=0, iteration=2, app_state={}, time=0.0)
+        storage.save(rank=0, iteration=4, app_state={}, time=1.0)
+        storage.save(rank=1, iteration=2, app_state={}, time=0.0)
+        assert storage.latest(0).iteration == 4
+        assert storage.latest_common_iteration([0, 1]) == 2
+        assert storage.latest_common_iteration([0, 2]) is None
+
+    def test_checkpoint_at_returns_most_recent_record_for_iteration(self):
+        storage = StableStorage()
+        storage.save(rank=0, iteration=2, app_state={"gen": 1}, time=0.0)
+        storage.save(rank=0, iteration=2, app_state={"gen": 2}, time=5.0)
+        assert storage.checkpoint_at(0, 2).app_state == {"gen": 2}
+        with pytest.raises(SimulationError):
+            storage.checkpoint_at(0, 7)
+
+    def test_write_cost_and_accounting(self):
+        storage = StableStorage(write_bandwidth_bytes_per_s=1e9)
+        assert storage.write_cost(1e9) == pytest.approx(1.0)
+        storage.save(rank=0, iteration=1, app_state={}, time=0.0, size_bytes=100)
+        assert storage.bytes_written == 100
+        assert storage.writes == 1
+        free = StableStorage(write_bandwidth_bytes_per_s=None)
+        assert free.write_cost(1e9) == 0.0
+
+    def test_garbage_collect_keeps_latest(self):
+        storage = StableStorage()
+        for iteration in (1, 2, 3):
+            storage.save(rank=0, iteration=iteration, app_state={}, time=0.0)
+        removed = storage.garbage_collect(0, keep_latest=1)
+        assert removed == 2
+        assert storage.count(0) == 1
+        assert storage.latest(0).iteration == 3
+
+
+class TestTransport:
+    def _make(self):
+        engine = SimulationEngine()
+        delivered = []
+        transport = Transport(engine, MyrinetMXModel(), delivered.append)
+        return engine, transport, delivered
+
+    def test_fifo_no_overtaking_on_same_channel(self):
+        engine, transport, delivered = self._make()
+        big = _msg(0, 1, 8 << 20)
+        small = _msg(0, 1, 1)
+        transport.transmit(big)
+        transport.transmit(small)
+        engine.run()
+        assert [m.msg_id for m in delivered] == [big.msg_id, small.msg_id]
+
+    def test_small_message_may_overtake_on_other_channel(self):
+        engine, transport, delivered = self._make()
+        big = _msg(0, 1, 8 << 20)
+        small = _msg(0, 2, 1)
+        transport.transmit(big)
+        transport.transmit(small)
+        engine.run()
+        assert [m.msg_id for m in delivered] == [small.msg_id, big.msg_id]
+
+    def test_in_flight_tracking_and_drop(self):
+        engine, transport, delivered = self._make()
+        transport.transmit(_msg(0, 1, 100))
+        transport.transmit(_msg(2, 3, 100))
+        assert transport.in_flight_count() == 2
+        assert transport.in_flight_within({0, 1}) == 1
+        dropped = transport.drop_messages(involving={1})
+        assert len(dropped) == 1
+        engine.run()
+        assert len(delivered) == 1
+        assert transport.messages_dropped == 1
+
+
+class TestFailureInjector:
+    def test_event_validation(self):
+        with pytest.raises(ConfigurationError):
+            FailureEvent(ranks=[], time=1.0)
+        with pytest.raises(ConfigurationError):
+            FailureEvent(ranks=[1])  # neither time nor iteration
+        with pytest.raises(ConfigurationError):
+            FailureEvent(ranks=[1], time=1.0, at_iteration=2)  # both
+
+    def test_time_triggered_failure_kills_rank(self, ring8):
+        from tests.conftest import run_simulation
+        from repro.ftprotocols.coordinated import CoordinatedCheckpointProtocol
+
+        injector = FailureInjector([FailureEvent(ranks=[3], time=20e-6)])
+        protocol = CoordinatedCheckpointProtocol(checkpoint_interval=2,
+                                                 checkpoint_size_bytes=1024)
+        result, sim = run_simulation(ring8(4), 8, protocol=protocol, failures=injector)
+        assert result.completed
+        assert injector.failed_ranks == {3}
+        assert result.stats.failures_injected == 1
+
+    def test_iteration_triggered_failure(self, ring8, hydee16):
+        # covered extensively by integration tests; here just the trigger flag.
+        injector = FailureInjector([FailureEvent(ranks=[0], at_iteration=2)])
+        assert injector.events[0].rank_trigger == 0
+        assert not injector.any_failure_injected

@@ -1,0 +1,161 @@
+"""Unit tests for the workload definitions (patterns, matrices, metadata)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    BTApplication,
+    CGApplication,
+    FTApplication,
+    LUApplication,
+    MGApplication,
+    MasterWorkerApplication,
+    NAS_BENCHMARKS,
+    PingPongApplication,
+    PipelineApplication,
+    RingApplication,
+    SPApplication,
+    Stencil1DApplication,
+    Stencil2DApplication,
+    make_nas_application,
+)
+from repro.workloads.nas import square_grid_side
+
+
+class TestBaseValidation:
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(WorkloadError):
+            RingApplication(nprocs=0)
+        with pytest.raises(WorkloadError):
+            RingApplication(nprocs=4, iterations=0)
+
+    def test_info_and_parameters(self):
+        app = RingApplication(nprocs=4, iterations=3, message_bytes=256)
+        info = app.info()
+        assert info.nprocs == 4
+        assert info.iterations == 3
+        assert info.parameters["message_bytes"] == 256
+
+    def test_default_communication_matrix_not_implemented(self):
+        app = RingApplication(nprocs=4)
+        with pytest.raises(NotImplementedError):
+            app.communication_matrix()
+
+
+class TestStencils:
+    def test_stencil1d_matrix_is_nearest_neighbour(self):
+        app = Stencil1DApplication(nprocs=5, iterations=2, halo_bytes=100)
+        matrix = app.communication_matrix()
+        assert matrix[0, 1] == 200 and matrix[1, 0] == 200
+        assert matrix[0, 2] == 0
+        assert matrix[0, 4] == 0
+
+    def test_stencil2d_grid_and_neighbours(self):
+        app = Stencil2DApplication(nprocs=12, iterations=1)
+        rows, cols = app.grid
+        assert rows * cols == 12
+        corner_neighbours = app.neighbours(0)
+        assert len(corner_neighbours) == 2
+        interior = app.rank_of(1, 1)
+        assert len(app.neighbours(interior)) == 4
+
+    def test_stencil2d_bad_grid_rejected(self):
+        with pytest.raises(WorkloadError):
+            Stencil2DApplication(nprocs=12, grid=(5, 2))
+
+    def test_stencil2d_matrix_symmetric(self):
+        app = Stencil2DApplication(nprocs=16, iterations=3)
+        matrix = app.communication_matrix()
+        assert np.allclose(matrix, matrix.T)
+
+
+class TestNASKernels:
+    @pytest.mark.parametrize("name", sorted(NAS_BENCHMARKS))
+    def test_pattern_well_formed(self, name):
+        app = make_nas_application(name, nprocs=16, iterations=2)
+        matrix = app.communication_matrix()
+        assert matrix.shape == (16, 16)
+        assert np.all(np.diag(matrix) == 0)
+        assert matrix.sum() > 0
+        # every rank both sends and receives something
+        assert np.all(matrix.sum(axis=1) > 0)
+        assert np.all(matrix.sum(axis=0) > 0)
+
+    @pytest.mark.parametrize("name", sorted(NAS_BENCHMARKS))
+    def test_full_run_matrix_scales_with_npb_iterations(self, name):
+        app = make_nas_application(name, nprocs=16, iterations=2)
+        per_run = app.full_run_matrix().sum()
+        per_iteration = app.communication_matrix().sum() / app.iterations
+        assert per_run == pytest.approx(per_iteration * app.full_run_iterations)
+
+    def test_bt_neighbours_are_torus(self):
+        app = BTApplication(nprocs=16, iterations=1)
+        peers = {p for p, _ in app.sends(0)}
+        assert peers == {1, 3, 4, 12}  # +/-1 col, +/-1 row with wraparound on 4x4
+
+    def test_lu_corner_has_two_partners(self):
+        app = LUApplication(nprocs=16, iterations=1)
+        assert len(app.sends(0)) == 2          # east + south only
+        assert len(app.sends(5)) == 4          # interior rank
+
+    def test_cg_row_partners_and_transpose(self):
+        app = CGApplication(nprocs=16, iterations=1)
+        peers = {p for p, _ in app.sends(1)}   # rank (0,1) on a 4x4 grid
+        assert 4 in peers                       # transpose partner (1,0) = rank 4
+        # the other partners stay within row 0 (ranks 0..3)
+        assert all(p < 4 or p == 4 for p in peers)
+
+    def test_ft_is_all_to_all(self):
+        app = FTApplication(nprocs=9, iterations=1)
+        matrix = app.communication_matrix()
+        off_diagonal = matrix[~np.eye(9, dtype=bool)]
+        assert off_diagonal[0] > 0
+        assert np.all(off_diagonal == off_diagonal[0])
+
+    def test_mg_has_multiple_distance_levels(self):
+        app = MGApplication(nprocs=64, iterations=1)
+        peers = {p for p, _ in app.sends(0)}
+        assert len(peers) >= 8  # distance 1, 2 and 4 partners on an 8x8 grid
+
+    def test_sp_total_volume_larger_than_lu(self):
+        sp = SPApplication(nprocs=16, iterations=1)
+        lu = LUApplication(nprocs=16, iterations=1)
+        assert sp.full_run_matrix().sum() > lu.full_run_matrix().sum()
+
+    def test_square_grid_required(self):
+        with pytest.raises(WorkloadError):
+            BTApplication(nprocs=12)
+        assert square_grid_side(49) == 7
+
+    def test_unknown_benchmark_name(self):
+        with pytest.raises(KeyError):
+            make_nas_application("does-not-exist", nprocs=16)
+
+    def test_message_scale_shrinks_volumes(self):
+        full = BTApplication(nprocs=16, iterations=1)
+        scaled = BTApplication(nprocs=16, iterations=1, message_scale=0.5)
+        assert scaled.communication_matrix().sum() == pytest.approx(
+            0.5 * full.communication_matrix().sum(), rel=0.01
+        )
+
+
+class TestOtherWorkloads:
+    def test_pingpong_requires_two_ranks(self):
+        with pytest.raises(WorkloadError):
+            PingPongApplication(nprocs=3)
+        with pytest.raises(WorkloadError):
+            PingPongApplication(nprocs=2, sizes=[])
+
+    def test_pingpong_parameters(self):
+        app = PingPongApplication(nprocs=2, sizes=[1, 1024], repeats=2)
+        assert app.parameters()["sizes"] == 2
+
+    def test_master_worker_declares_non_send_deterministic(self):
+        app = MasterWorkerApplication(nprocs=4)
+        assert app.send_deterministic is False
+        assert app.total_tasks == 6
+
+    def test_send_deterministic_flag_default_true(self):
+        assert RingApplication(nprocs=4).send_deterministic is True
+        assert PipelineApplication(nprocs=4).send_deterministic is True
