@@ -2,39 +2,50 @@
 
 The benchmarked unit is a full run of a 2-D stencil with an injected failure,
 including rollback of the affected cluster, phase-ordered replay from the
-sender-based logs and completion of the application.  The assertions check
-the containment and correctness claims each time the benchmark runs.
+sender-based logs and completion of the application.  The scenario is a
+declarative :class:`ScenarioSpec` executed through the campaign runner; the
+assertions check the containment and correctness claims each time the
+benchmark runs.
 """
 
 import pytest
 
-from repro import HydEEConfig, HydEEProtocol, Simulation
 from repro.analysis.containment import render_containment, run_containment_experiment
-from repro.clustering import block_partition
-from repro.simulator.failures import FailureEvent, FailureInjector
-from repro.workloads import Stencil2DApplication
+from repro.campaign import run_campaign
+from repro.scenarios import (
+    ClusteringSpec,
+    FailureSpec,
+    ProtocolSpec,
+    ScenarioSpec,
+    WorkloadSpec,
+)
 
 NPROCS = 16
 ITERATIONS = 8
-CLUSTERS = block_partition(NPROCS, 4)
+
+RECOVERY_SPEC = ScenarioSpec(
+    name="bench:hydee-recovery",
+    workload=WorkloadSpec(kind="stencil2d", nprocs=NPROCS, iterations=ITERATIONS),
+    protocol=ProtocolSpec(
+        name="hydee",
+        options={"checkpoint_interval": 2, "checkpoint_size_bytes": 64 * 1024},
+        clustering=ClusteringSpec(method="block", num_clusters=4),
+    ),
+    failures=(FailureSpec(ranks=(5,), at_iteration=5),),
+)
 
 
 def _run_with_failure():
-    app = Stencil2DApplication(nprocs=NPROCS, iterations=ITERATIONS)
-    protocol = HydEEProtocol(
-        HydEEConfig(clusters=CLUSTERS, checkpoint_interval=2, checkpoint_size_bytes=64 * 1024)
-    )
-    failures = FailureInjector([FailureEvent(ranks=[5], at_iteration=5)])
-    result = Simulation(app, nprocs=NPROCS, protocol=protocol, failures=failures).run()
-    return result, protocol
+    outcome = run_campaign([RECOVERY_SPEC], keep_artifacts=True)
+    return outcome.artifacts[0]
 
 
 def test_hydee_recovery_benchmark(benchmark):
-    result, protocol = benchmark.pedantic(_run_with_failure, rounds=3, iterations=1)
+    result = benchmark.pedantic(_run_with_failure, rounds=3, iterations=1)
     assert result.completed
     assert result.stats.ranks_rolled_back == 4
-    assert protocol.pstats.determinants_logged == 0
-    assert protocol.pstats.replayed_messages > 0
+    assert result.stats.extra["pstats_determinants_logged"] == 0
+    assert result.stats.extra["pstats_replayed_messages"] > 0
 
 
 def test_containment_comparison_benchmark(benchmark):

@@ -5,6 +5,9 @@ Rebuilds Table I of the paper (number of clusters, expected rollback
 fraction, logged volume) from the synthetic NAS communication graphs at 256
 processes, and prints the cluster-count frontier for one benchmark to show
 the trade-off the clustering tool optimises.
+
+Each Table I row is an analytic campaign scenario; ``--workers 6`` computes
+all six in parallel processes.
 """
 
 import argparse
@@ -18,9 +21,11 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--nprocs", type=int, default=256)
     parser.add_argument("--frontier-benchmark", default="bt")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="campaign worker processes")
     args = parser.parse_args()
 
-    rows = build_table1(nprocs=args.nprocs)
+    rows = build_table1(nprocs=args.nprocs, workers=args.workers)
     print(render_table1(rows))
     print()
     sweep = run_sweep(benchmark=args.frontier_benchmark, nprocs=args.nprocs)

@@ -2,73 +2,77 @@
 """Multiple concurrent failures: two clusters fail at the same instant.
 
 The paper proves (Section IV) that HydEE tolerates multiple concurrent
-failures without any event logging.  This example fails one rank in each of
-two different clusters simultaneously, and checks that
+failures without any event logging.  This example declares one reference
+scenario plus two failure scenarios (HydEE and global coordinated
+checkpointing) that fail one rank in each of two different clusters
+simultaneously, runs them as a single campaign, and checks that
 
-* exactly the two affected clusters roll back,
+* exactly the two affected clusters roll back under HydEE,
 * logged inter-cluster messages are replayed to both clusters,
 * the recovered execution matches the failure-free reference,
 * the same scenario under global coordinated checkpointing rolls back every
   process (the containment HydEE avoids).
 """
 
-from repro import (
-    CoordinatedCheckpointProtocol,
-    HydEEConfig,
-    HydEEProtocol,
-    Simulation,
+from repro.campaign import run_campaign
+from repro.scenarios import (
+    ClusteringSpec,
+    FailureSpec,
+    ProtocolSpec,
+    ScenarioSpec,
+    WorkloadSpec,
 )
-from repro.clustering import cluster_application
-from repro.simulator.failures import FailureEvent, FailureInjector
-from repro.workloads import Stencil2DApplication
 
 NPROCS = 16
 ITERATIONS = 8
 
-
-def make_app() -> Stencil2DApplication:
-    return Stencil2DApplication(nprocs=NPROCS, iterations=ITERATIONS)
+#: Four clusters of four ranks (one process-grid row each); the
+#: communication-graph partitioner (ClusteringSpec(method="partition")) is
+#: demonstrated in examples/clustering_analysis.py.
+CLUSTERS = ((0, 1, 2, 3), (4, 5, 6, 7), (8, 9, 10, 11), (12, 13, 14, 15))
 
 
 def main() -> None:
-    reference = Simulation(make_app(), nprocs=NPROCS).run()
-    # Four clusters of four ranks (one process-grid row each); the
-    # communication-graph partitioner (`cluster_application`) is demonstrated
-    # in examples/clustering_analysis.py.
-    clusters = [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9, 10, 11], [12, 13, 14, 15]]
-    _ = cluster_application
-    print(f"clusters: {clusters}")
+    workload = WorkloadSpec(kind="stencil2d", nprocs=NPROCS, iterations=ITERATIONS)
+    print(f"clusters: {[list(c) for c in CLUSTERS]}")
 
     # Pick one victim in two different clusters.
-    victims = [clusters[0][0], clusters[-1][-1]]
-    print(f"concurrent failures injected on ranks {victims}")
+    victims = (CLUSTERS[0][0], CLUSTERS[-1][-1])
+    print(f"concurrent failures injected on ranks {list(victims)}")
+    failure = FailureSpec(ranks=victims, at_iteration=5)
+    checkpointing = {"checkpoint_interval": 2, "checkpoint_size_bytes": 256 * 1024}
 
-    protocol = HydEEProtocol(
-        HydEEConfig(clusters=clusters, checkpoint_interval=2, checkpoint_size_bytes=256 * 1024)
-    )
-    result = Simulation(
-        make_app(),
-        nprocs=NPROCS,
-        protocol=protocol,
-        failures=FailureInjector([FailureEvent(ranks=victims, at_iteration=5)]),
-    ).run()
-    print(
-        f"HydEE        : {result.stats.ranks_rolled_back}/{NPROCS} ranks rolled back, "
-        f"{protocol.pstats.replayed_messages} messages replayed, "
-        f"results identical = {result.rank_results == reference.rank_results}"
-    )
+    specs = [
+        ScenarioSpec(name="multi-failure:reference", workload=workload),
+        ScenarioSpec(
+            name="multi-failure:hydee",
+            workload=workload,
+            protocol=ProtocolSpec(
+                name="hydee",
+                options=checkpointing,
+                clustering=ClusteringSpec(method="explicit", clusters=CLUSTERS),
+            ),
+            failures=(failure,),
+        ),
+        ScenarioSpec(
+            name="multi-failure:coordinated",
+            workload=workload,
+            protocol=ProtocolSpec(name="coordinated", options=checkpointing),
+            failures=(failure,),
+        ),
+    ]
+    outcome = run_campaign(specs, keep_artifacts=True)
+    reference, hydee, coordinated = outcome.artifacts
 
-    coordinated = CoordinatedCheckpointProtocol(checkpoint_interval=2,
-                                                checkpoint_size_bytes=256 * 1024)
-    coord_result = Simulation(
-        make_app(),
-        nprocs=NPROCS,
-        protocol=coordinated,
-        failures=FailureInjector([FailureEvent(ranks=victims, at_iteration=5)]),
-    ).run()
+    replayed = hydee.stats.extra["pstats_replayed_messages"]
     print(
-        f"coordinated  : {coord_result.stats.ranks_rolled_back}/{NPROCS} ranks rolled back, "
-        f"results identical = {coord_result.rank_results == reference.rank_results}"
+        f"HydEE        : {hydee.stats.ranks_rolled_back}/{NPROCS} ranks rolled back, "
+        f"{replayed} messages replayed, "
+        f"results identical = {hydee.rank_results == reference.rank_results}"
+    )
+    print(
+        f"coordinated  : {coordinated.stats.ranks_rolled_back}/{NPROCS} ranks rolled back, "
+        f"results identical = {coordinated.rank_results == reference.rank_results}"
     )
 
 

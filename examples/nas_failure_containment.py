@@ -7,14 +7,24 @@ communication graph, coordinated checkpoints inside clusters, and a failure
 that takes out several processes at once.  Only the affected cluster rolls
 back; the messages it needs from other clusters are replayed from the
 sender-based logs without any event logging.
+
+Both runs are declared as scenario specs and executed as one campaign; the
+cluster partition is computed up front (so the example can choose which
+cluster to kill) and passed into the spec explicitly.
 """
 
 import argparse
 
-from repro import HydEEConfig, HydEEProtocol, Simulation
+from repro.campaign import run_campaign
 from repro.clustering import CommunicationGraph, evaluate_clustering, partition
-from repro.simulator.failures import FailureEvent, FailureInjector
-from repro.workloads.nas import make_nas_application
+from repro.scenarios import (
+    ClusteringSpec,
+    FailureSpec,
+    ProtocolSpec,
+    ScenarioSpec,
+    WorkloadSpec,
+    build_application,
+)
 
 
 def main() -> None:
@@ -28,15 +38,13 @@ def main() -> None:
                         help="index of the cluster whose members all fail")
     args = parser.parse_args()
 
-    def make_app():
-        return make_nas_application(args.benchmark, nprocs=args.nprocs,
-                                    iterations=args.iterations)
+    workload = WorkloadSpec(
+        kind=args.benchmark.lower(), nprocs=args.nprocs, iterations=args.iterations
+    )
 
-    # Reference run.
-    reference = Simulation(make_app(), nprocs=args.nprocs).run()
-
-    # Cluster from the analytic communication graph.
-    graph = CommunicationGraph.from_application(make_app())
+    # Cluster from the analytic communication graph, so the example can pick
+    # a whole cluster as the failure victim and report the expected trade-off.
+    graph = CommunicationGraph.from_application(build_application(workload))
     clustering = partition(graph, args.clusters, method="auto", balance_tolerance=1.1)
     metrics = evaluate_clustering(graph, clustering.clusters)
     print(f"benchmark {args.benchmark.upper()} on {args.nprocs} ranks, "
@@ -47,19 +55,32 @@ def main() -> None:
     # Fail every rank of one cluster simultaneously (multiple concurrent
     # failures in the same cluster).
     victims = clustering.clusters[args.fail_cluster % len(clustering.clusters)]
-    protocol = HydEEProtocol(
-        HydEEConfig(clusters=clustering.clusters, checkpoint_interval=2,
-                    checkpoint_size_bytes=1024 * 1024)
-    )
-    failures = FailureInjector([FailureEvent(ranks=list(victims), at_iteration=4)])
-    recovered = Simulation(make_app(), nprocs=args.nprocs, protocol=protocol,
-                           failures=failures).run()
+    specs = [
+        ScenarioSpec(name="nas-containment:reference", workload=workload),
+        ScenarioSpec(
+            name="nas-containment:hydee",
+            workload=workload,
+            protocol=ProtocolSpec(
+                name="hydee",
+                options={"checkpoint_interval": 2,
+                         "checkpoint_size_bytes": 1024 * 1024},
+                clustering=ClusteringSpec(
+                    method="explicit",
+                    clusters=tuple(tuple(c) for c in clustering.clusters),
+                ),
+            ),
+            failures=(FailureSpec(ranks=tuple(victims), at_iteration=4),),
+        ),
+    ]
+    outcome = run_campaign(specs, keep_artifacts=True)
+    reference, recovered = outcome.artifacts
+    extra = recovered.stats.extra
 
     print(f"  failed ranks                      : {sorted(victims)}")
     print(f"  ranks rolled back                 : {recovered.stats.ranks_rolled_back} "
           f"({100 * recovered.stats.rolled_back_fraction:.1f}%)")
-    print(f"  messages replayed from logs       : {protocol.pstats.replayed_messages}")
-    print(f"  orphan messages suppressed        : {protocol.pstats.suppressed_orphans}")
+    print(f"  messages replayed from logs       : {extra['pstats_replayed_messages']}")
+    print(f"  orphan messages suppressed        : {extra['pstats_suppressed_orphans']}")
     print(f"  recovery time                     : {recovered.stats.recovery_time * 1e3:.2f} ms")
     print(f"  results identical to reference    : "
           f"{recovered.rank_results == reference.rank_results}")

@@ -6,6 +6,9 @@ Reproduces the shape of Figure 5 of the paper: HydEE's piggybacked
 peaks where the extra bytes push a message onto the next latency plateau of
 the MX-like network model), and sender-based payload logging adds nothing
 visible because the memcpy overlaps with the transfer.
+
+The three configurations are scenario specs executed as one campaign
+(``--workers 3`` runs them in parallel processes).
 """
 
 import argparse
@@ -18,12 +21,15 @@ def main() -> None:
     parser.add_argument("--max-bytes", type=int, default=1 << 20,
                         help="largest message size to sweep (default 1 MiB)")
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="campaign worker processes")
     args = parser.parse_args()
 
     from repro.simulator.network import netpipe_sizes
 
     sizes = list(netpipe_sizes(args.max_bytes))
-    result = run_netpipe_experiment(sizes=sizes, repeats=args.repeats)
+    result = run_netpipe_experiment(sizes=sizes, repeats=args.repeats,
+                                    workers=args.workers)
     print(result.as_text())
 
     # Cross-check the simulated sweep against the closed-form model.

@@ -3,20 +3,26 @@
 
 The script
 
-1. runs a 16-rank 2-D halo-exchange stencil natively (no fault tolerance) to
-   obtain the reference results,
-2. clusters the ranks with the communication-graph partitioner,
-3. re-runs the application under HydEE with coordinated checkpoints every two
-   iterations, injecting a fail-stop failure of rank 5,
+1. declares the failure-free reference and the failure run as
+   :class:`ScenarioSpec` objects (the same declarative layer every
+   experiment and campaign uses),
+2. runs the reference through the campaign runner,
+3. builds the HydEE scenario (four clusters, coordinated checkpoints every
+   two iterations, a fail-stop failure of rank 5) and runs it,
 4. shows that only rank 5's cluster rolled back and that the recovered
    execution produced exactly the reference results.
 """
 
-from repro import HydEEConfig, HydEEProtocol, Simulation
-from repro.clustering import cluster_application
+from repro.campaign import run_campaign
 from repro.core.invariants import check_all_recovery_invariants
-from repro.simulator.failures import FailureEvent, FailureInjector
-from repro.workloads import Stencil2DApplication
+from repro.scenarios import (
+    ClusteringSpec,
+    FailureSpec,
+    ProtocolSpec,
+    ScenarioSpec,
+    WorkloadSpec,
+    build,
+)
 
 NPROCS = 16
 ITERATIONS = 8
@@ -24,32 +30,41 @@ FAILED_RANK = 5
 
 
 def main() -> None:
-    # 1. Failure-free reference (native MPI, no protocol).
-    reference = Simulation(
-        Stencil2DApplication(nprocs=NPROCS, iterations=ITERATIONS), nprocs=NPROCS
-    ).run()
+    workload = WorkloadSpec(kind="stencil2d", nprocs=NPROCS, iterations=ITERATIONS)
+    # Per-event traces stay on: the invariant checks compare send sequences.
+    config = {"record_trace_events": True}
+
+    # 1. + 2. Failure-free reference (native MPI, no protocol).
+    reference_spec = ScenarioSpec(
+        name="quickstart:reference", workload=workload, config=config
+    )
+    reference = run_campaign([reference_spec], keep_artifacts=True).artifacts[0]
     print(f"reference run      : makespan = {reference.makespan * 1e3:.3f} ms")
 
-    # 2. Cluster the processes.  For a 4x4 process grid the natural clusters
-    #    are the four rows; on larger/irregular applications use the
-    #    communication-graph partitioner instead (see
-    #    examples/clustering_analysis.py):
-    #        clusters = cluster_application(app, num_clusters=4)
-    clusters = [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9, 10, 11], [12, 13, 14, 15]]
-    _ = cluster_application  # imported to show where the tool lives
-    print(f"process clusters   : {clusters}")
-
-    # 3. Run under HydEE with a failure of rank 5 after iteration 5.
-    protocol = HydEEProtocol(
-        HydEEConfig(clusters=clusters, checkpoint_interval=2, checkpoint_size_bytes=256 * 1024)
+    # 3. HydEE with four explicit clusters (a 4x4 grid split by rows; on
+    #    larger/irregular applications use ClusteringSpec(method="partition")
+    #    to run the communication-graph partitioner instead -- see
+    #    examples/clustering_analysis.py) and a failure of rank 5 after
+    #    iteration 5.
+    clusters = ((0, 1, 2, 3), (4, 5, 6, 7), (8, 9, 10, 11), (12, 13, 14, 15))
+    hydee_spec = ScenarioSpec(
+        name="quickstart:hydee-failure",
+        workload=workload,
+        protocol=ProtocolSpec(
+            name="hydee",
+            options={"checkpoint_interval": 2, "checkpoint_size_bytes": 256 * 1024},
+            clustering=ClusteringSpec(method="explicit", clusters=clusters),
+        ),
+        failures=(FailureSpec(ranks=(FAILED_RANK,), at_iteration=5),),
+        config=config,
     )
-    failures = FailureInjector([FailureEvent(ranks=[FAILED_RANK], at_iteration=5)])
-    recovered = Simulation(
-        Stencil2DApplication(nprocs=NPROCS, iterations=ITERATIONS),
-        nprocs=NPROCS,
-        protocol=protocol,
-        failures=failures,
-    ).run()
+    print(f"process clusters   : {[list(c) for c in clusters]}")
+
+    # The invariant battery needs the protocol object, so build the
+    # simulation from the spec directly instead of going through a campaign.
+    sim = build(hydee_spec)
+    recovered = sim.run()
+    protocol = sim.protocol
 
     # 4. Report containment and correctness.
     stats = recovered.stats

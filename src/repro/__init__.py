@@ -11,6 +11,8 @@ The package is organised in layers:
   checkpointing, full message logging, hybrid with event logging),
 * :mod:`repro.clustering`  -- the process-clustering tool ([28]),
 * :mod:`repro.workloads`   -- NAS-like kernels, NetPIPE ping-pong, stencils,
+* :mod:`repro.scenarios`   -- declarative scenario specs + build factory,
+* :mod:`repro.campaign`    -- serial/parallel campaign runner + result store,
 * :mod:`repro.analysis`    -- performance models and result assembly,
 * :mod:`repro.experiments` -- one runnable harness per paper table/figure.
 
@@ -48,6 +50,17 @@ from repro.ftprotocols import (
     available_protocols,
     make_protocol,
 )
+from repro.scenarios import (
+    ClusteringSpec,
+    FailureSpec,
+    NetworkSpec,
+    ProtocolSpec,
+    ScenarioSpec,
+    WorkloadSpec,
+    build_scenario,
+    sweep,
+)
+from repro.campaign import CampaignResult, ResultsStore, run_campaign
 
 __version__ = "1.0.0"
 
@@ -76,4 +89,16 @@ __all__ = [
     "HybridEventLoggingProtocol",
     "available_protocols",
     "make_protocol",
+    # scenarios + campaigns
+    "ScenarioSpec",
+    "WorkloadSpec",
+    "ProtocolSpec",
+    "ClusteringSpec",
+    "NetworkSpec",
+    "FailureSpec",
+    "build_scenario",
+    "sweep",
+    "run_campaign",
+    "CampaignResult",
+    "ResultsStore",
 ]

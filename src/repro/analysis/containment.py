@@ -10,25 +10,32 @@ against the baseline protocols:
 * number of messages replayed from logs,
 * number of orphan messages handled without event logging,
 * whether the final application results match the failure-free reference.
+
+Every run is declared as a :class:`~repro.scenarios.spec.ScenarioSpec` and
+executed through the campaign runner.  Unlike the overhead sweeps, this
+experiment needs the *live* simulation results (send-sequence traces and
+per-rank results to compare against the reference), so the campaign runs
+with ``keep_artifacts=True`` and per-event tracing enabled, and records are
+not cached.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.reporting import format_dict_table
-from repro.clustering.partitioner import block_partition
-from repro.core.config import HydEEConfig
-from repro.core.protocol import HydEEProtocol
-from repro.errors import ProtocolError
-from repro.ftprotocols.coordinated import CoordinatedCheckpointProtocol
-from repro.ftprotocols.message_logging import FullMessageLoggingProtocol
-from repro.simulator.failures import FailureEvent, FailureInjector
+from repro.campaign.runner import run_campaign
+from repro.scenarios.build import to_network_spec
+from repro.scenarios.spec import (
+    ClusteringSpec,
+    FailureSpec,
+    ProtocolSpec,
+    ScenarioSpec,
+    WorkloadSpec,
+)
 from repro.simulator.network import NetworkModel
-from repro.simulator.simulation import Simulation, SimulationConfig
 from repro.simulator.trace import compare_send_sequences
-from repro.workloads.stencil import Stencil2DApplication
 
 
 @dataclass
@@ -62,8 +69,63 @@ class ContainmentRow:
         }
 
 
-def _default_workload(nprocs: int, iterations: int):
-    return Stencil2DApplication(nprocs=nprocs, iterations=iterations)
+def containment_specs(
+    nprocs: int = 16,
+    iterations: int = 8,
+    failed_ranks: Sequence[int] = (5,),
+    fail_at_iteration: int = 5,
+    checkpoint_interval: int = 2,
+    num_clusters: int = 4,
+    workload: Optional[WorkloadSpec] = None,
+    network: Optional[NetworkModel] = None,
+    protocols: Sequence[str] = ("hydee", "coordinated", "message-logging"),
+) -> List[ScenarioSpec]:
+    """Declare the reference run plus one failure run per protocol."""
+    network_spec = to_network_spec(network)
+    workload = workload or WorkloadSpec(kind="stencil2d", nprocs=nprocs, iterations=iterations)
+    failure = FailureSpec(ranks=tuple(failed_ranks), at_iteration=fail_at_iteration)
+    # Send-sequence comparisons need per-event traces on both sides.
+    config = {"record_trace_events": True}
+    checkpoint_options = {
+        "checkpoint_interval": checkpoint_interval,
+        "checkpoint_size_bytes": 64 * 1024,
+    }
+
+    def protocol_spec(name: str) -> ProtocolSpec:
+        if name == "hydee":
+            # Equal contiguous blocks so the rollback fraction is exactly
+            # num_clusters**-1 and rows are easy to interpret; the graph
+            # partitioner is exercised by the Table I harness.
+            return ProtocolSpec(
+                name="hydee",
+                options=checkpoint_options,
+                clustering=ClusteringSpec(method="block", num_clusters=num_clusters),
+            )
+        return ProtocolSpec(name=name, options=checkpoint_options)
+
+    specs = [
+        ScenarioSpec(
+            name="containment:reference",
+            workload=workload,
+            protocol=ProtocolSpec(name="native"),
+            network=network_spec,
+            config=config,
+            tags={"experiment": "containment", "role": "reference"},
+        )
+    ]
+    specs.extend(
+        ScenarioSpec(
+            name=f"containment:{name}",
+            workload=workload,
+            protocol=protocol_spec(name),
+            network=network_spec,
+            failures=(failure,),
+            config=config,
+            tags={"experiment": "containment", "role": "failure", "protocol": name},
+        )
+        for name in protocols
+    )
+    return specs
 
 
 def run_containment_experiment(
@@ -73,67 +135,41 @@ def run_containment_experiment(
     fail_at_iteration: int = 5,
     checkpoint_interval: int = 2,
     num_clusters: int = 4,
-    workload_factory: Optional[Callable[[int, int], Any]] = None,
+    workload: Optional[WorkloadSpec] = None,
     network: Optional[NetworkModel] = None,
     protocols: Sequence[str] = ("hydee", "coordinated", "message-logging"),
+    workers: int = 1,
 ) -> List[ContainmentRow]:
     """Inject the same failure under several protocols and compare containment."""
-    make_app = workload_factory or _default_workload
-    config = SimulationConfig(network=network) if network is not None else SimulationConfig()
+    specs = containment_specs(
+        nprocs=nprocs,
+        iterations=iterations,
+        failed_ranks=failed_ranks,
+        fail_at_iteration=fail_at_iteration,
+        checkpoint_interval=checkpoint_interval,
+        num_clusters=num_clusters,
+        workload=workload,
+        network=network,
+        protocols=protocols,
+    )
+    outcome = run_campaign(specs, workers=workers, keep_artifacts=True)
 
-    # Failure-free reference (native, no protocol).
-    ref_app = make_app(nprocs, iterations)
-    reference = Simulation(ref_app, nprocs=nprocs, config=config).run()
-
-    # Use equal contiguous blocks so the rollback fraction is exactly
-    # num_clusters**-1 and rows are easy to interpret; the graph partitioner
-    # is exercised by the Table I harness and the clustering tests.
-    clusters = block_partition(nprocs, num_clusters)
-
-    def make_protocol(name: str):
-        if name == "hydee":
-            return HydEEProtocol(
-                HydEEConfig(
-                    clusters=clusters,
-                    checkpoint_interval=checkpoint_interval,
-                    checkpoint_size_bytes=64 * 1024,
-                )
-            )
-        if name == "coordinated":
-            return CoordinatedCheckpointProtocol(
-                checkpoint_interval=checkpoint_interval, checkpoint_size_bytes=64 * 1024
-            )
-        if name == "message-logging":
-            return FullMessageLoggingProtocol(
-                checkpoint_interval=checkpoint_interval, checkpoint_size_bytes=64 * 1024
-            )
-        raise ProtocolError(f"unknown protocol {name!r} in containment experiment")
-
+    reference = outcome.artifacts[0]
     rows: List[ContainmentRow] = []
-    for name in protocols:
-        protocol = make_protocol(name)
-        injector = FailureInjector(
-            [FailureEvent(ranks=list(failed_ranks), at_iteration=fail_at_iteration)]
-        )
-        app = make_app(nprocs, iterations)
-        sim = Simulation(app, nprocs=nprocs, protocol=protocol, failures=injector, config=config)
-        result = sim.run()
-
-        pstats = getattr(protocol, "pstats", None)
-        replayed = pstats.replayed_messages if pstats else 0
-        orphans = pstats.suppressed_orphans if pstats else 0
-        logged = pstats.logged_bytes if pstats else 0
+    for spec, result in zip(outcome.specs[1:], outcome.artifacts[1:]):
+        name = spec.tags["protocol"]
+        extra = result.stats.extra
         mismatches = compare_send_sequences(reference.trace, result.trace)
         rows.append(
             ContainmentRow(
                 protocol=name,
-                nprocs=nprocs,
+                nprocs=spec.workload.nprocs,
                 failed_ranks=sorted(failed_ranks),
                 ranks_rolled_back=result.stats.ranks_rolled_back,
                 rolled_back_pct=100.0 * result.stats.rolled_back_fraction,
-                replayed_messages=replayed,
-                suppressed_orphans=orphans,
-                logged_bytes=logged,
+                replayed_messages=extra.get("pstats_replayed_messages", 0),
+                suppressed_orphans=extra.get("pstats_suppressed_orphans", 0),
+                logged_bytes=extra.get("pstats_logged_bytes", 0),
                 recovery_time_s=result.stats.recovery_time,
                 results_match_reference=result.rank_results == reference.rank_results,
                 send_sequences_match=not mismatches,

@@ -20,11 +20,16 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.perf_model import analytic_pingpong_series
 from repro.analysis.reporting import format_series
-from repro.core.config import HydEEConfig
-from repro.core.protocol import HydEEProtocol
-from repro.simulator.network import MyrinetMXModel, NetworkModel, netpipe_sizes
-from repro.simulator.simulation import Simulation, SimulationConfig
-from repro.workloads.netpipe import PingPongApplication
+from repro.campaign.runner import run_campaign
+from repro.campaign.store import ResultsStore
+from repro.scenarios.build import to_network_spec
+from repro.scenarios.spec import (
+    ClusteringSpec,
+    ProtocolSpec,
+    ScenarioSpec,
+    WorkloadSpec,
+)
+from repro.simulator.network import NetworkModel, netpipe_sizes
 
 
 @dataclass
@@ -62,22 +67,44 @@ class NetpipeResult:
         )
 
 
-def _run_pingpong(
-    sizes: Sequence[int],
-    network: NetworkModel,
-    protocol_factory,
-    repeats: int,
-) -> Dict[int, Dict[str, float]]:
-    app = PingPongApplication(nprocs=2, sizes=list(sizes), repeats=repeats)
-    protocol = protocol_factory() if protocol_factory is not None else None
-    sim = Simulation(
-        app,
-        nprocs=2,
-        protocol=protocol,
-        config=SimulationConfig(network=network, record_trace_events=False),
+def netpipe_specs(
+    sizes: Optional[Sequence[int]] = None,
+    network: Optional[NetworkModel] = None,
+    repeats: int = 3,
+    piggyback_bytes: int = 12,
+) -> List[ScenarioSpec]:
+    """Declare the three Figure 5 configurations as scenario specs."""
+    sizes = list(sizes) if sizes is not None else list(netpipe_sizes())
+    network_spec = to_network_spec(network)
+    workload = WorkloadSpec(
+        kind="netpipe", nprocs=2, iterations=1,
+        params={"sizes": sizes, "repeats": repeats},
     )
-    result = sim.run()
-    return result.rank_results[0]["measurements"]
+    # Cluster layouts select what HydEE logs: both ranks together -> nothing,
+    # ranks apart -> the whole ping-pong channel.
+    series = {
+        "native": ProtocolSpec(name="native"),
+        "hydee_no_logging": ProtocolSpec(
+            name="hydee",
+            options={"piggyback_bytes": piggyback_bytes},
+            clustering=ClusteringSpec(method="explicit", clusters=((0, 1),)),
+        ),
+        "hydee_logging": ProtocolSpec(
+            name="hydee",
+            options={"piggyback_bytes": piggyback_bytes},
+            clustering=ClusteringSpec(method="explicit", clusters=((0,), (1,))),
+        ),
+    }
+    return [
+        ScenarioSpec(
+            name=f"figure5:{name}",
+            workload=workload,
+            protocol=protocol,
+            network=network_spec,
+            tags={"experiment": "figure5", "series": name},
+        )
+        for name, protocol in series.items()
+    ]
 
 
 def run_netpipe_experiment(
@@ -85,29 +112,25 @@ def run_netpipe_experiment(
     network: Optional[NetworkModel] = None,
     repeats: int = 3,
     piggyback_bytes: int = 12,
+    workers: int = 1,
+    store: Optional[ResultsStore] = None,
 ) -> NetpipeResult:
     """Run the simulated Figure 5 experiment and return the three series."""
-    network = network or MyrinetMXModel()
     sizes = list(sizes) if sizes is not None else list(netpipe_sizes())
-
-    configs = {
-        "native": None,
-        # Both ranks in the same cluster: nothing is logged.
-        "hydee_no_logging": lambda: HydEEProtocol(
-            HydEEConfig(clusters=[[0, 1]], piggyback_bytes=piggyback_bytes)
-        ),
-        # Ranks in different clusters: the ping-pong channel is logged.
-        "hydee_logging": lambda: HydEEProtocol(
-            HydEEConfig(clusters=[[0], [1]], piggyback_bytes=piggyback_bytes)
-        ),
-    }
+    specs = netpipe_specs(
+        sizes=sizes, network=network, repeats=repeats, piggyback_bytes=piggyback_bytes
+    )
+    outcome = run_campaign(specs, workers=workers, store=store)
 
     result = NetpipeResult(sizes=list(sizes))
-    for name, factory in configs.items():
-        measurements = _run_pingpong(sizes, network, factory, repeats)
-        result.latency_s[name] = [measurements[s]["latency_s"] for s in sizes]
+    for spec, record in zip(outcome.specs, outcome.records):
+        name = spec.tags["series"]
+        # Campaign records are pure JSON: rank and size keys come back as
+        # strings.
+        measurements = record["result"]["rank_results"]["0"]["measurements"]
+        result.latency_s[name] = [measurements[str(s)]["latency_s"] for s in sizes]
         result.bandwidth_bytes_per_s[name] = [
-            measurements[s]["bandwidth_bytes_per_s"] for s in sizes
+            measurements[str(s)]["bandwidth_bytes_per_s"] for s in sizes
         ]
     return result
 

@@ -12,6 +12,10 @@ configurations and reports the execution time normalized to native MPICH2:
 The paper reports a worst-case overhead of ~1.25 % for HydEE and slightly
 more when everything is logged; the shape to reproduce is "both are small,
 HydEE is consistently at or below full logging".
+
+Every run is declared as a :class:`~repro.scenarios.spec.ScenarioSpec` and
+executed through the campaign runner, so a whole Figure 6 sweep can fan out
+over worker processes and reuse cached records.
 """
 
 from __future__ import annotations
@@ -20,13 +24,16 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.reporting import format_table
-from repro.clustering.comm_graph import CommunicationGraph
-from repro.clustering.partitioner import partition
-from repro.clustering.presets import TABLE1_CLUSTER_COUNTS
-from repro.core.config import HydEEConfig
-from repro.core.protocol import HydEEProtocol
-from repro.simulator.network import MyrinetMXModel, NetworkModel
-from repro.simulator.simulation import Simulation, SimulationConfig
+from repro.campaign.runner import CampaignResult, run_campaign
+from repro.campaign.store import ResultsStore
+from repro.scenarios.build import to_network_spec
+from repro.scenarios.spec import (
+    ClusteringSpec,
+    ProtocolSpec,
+    ScenarioSpec,
+    WorkloadSpec,
+)
+from repro.simulator.network import NetworkModel
 from repro.workloads.nas import NAS_BENCHMARKS
 
 
@@ -60,12 +67,67 @@ class OverheadRow:
         return out
 
 
-def _cluster_for(benchmark: str, nprocs: int, iterations: int) -> List[List[int]]:
-    app = NAS_BENCHMARKS[benchmark](nprocs=nprocs, iterations=iterations)
-    graph = CommunicationGraph.from_matrix(app.communication_matrix())
-    preset = TABLE1_CLUSTER_COUNTS[benchmark]
-    k = min(preset, nprocs)
-    return partition(graph, k, method="auto", balance_tolerance=1.1).clusters
+def overhead_specs(
+    benchmark: str,
+    nprocs: int = 64,
+    iterations: int = 2,
+    network: Optional[NetworkModel] = None,
+    clusters: Optional[Sequence[Sequence[int]]] = None,
+    include_hybrid_event_logging: bool = False,
+    message_scale: float = 1.0,
+) -> List[ScenarioSpec]:
+    """Declare the Figure 6 configurations for one benchmark as specs."""
+    name = benchmark.lower()
+    network_spec = to_network_spec(network)
+    params = {"message_scale": message_scale} if message_scale != 1.0 else {}
+    workload = WorkloadSpec(kind=name, nprocs=nprocs, iterations=iterations, params=params)
+    if clusters is not None:
+        clustering = ClusteringSpec(
+            method="explicit", clusters=tuple(tuple(c) for c in clusters)
+        )
+    else:
+        # The paper's Table I cluster count, partitioned from the kernel's
+        # analytic per-iteration communication matrix.
+        clustering = ClusteringSpec(method="preset")
+
+    configs = {
+        "native": ProtocolSpec(name="native"),
+        "message_logging": ProtocolSpec(name="hydee-log-all"),
+        "hydee": ProtocolSpec(name="hydee", clustering=clustering),
+    }
+    if include_hybrid_event_logging:
+        configs["hybrid_event_logging"] = ProtocolSpec(
+            name="hybrid-event-logging", clustering=clustering
+        )
+    return [
+        ScenarioSpec(
+            name=f"figure6:{name}:{config}",
+            workload=workload,
+            protocol=protocol,
+            network=network_spec,
+            tags={"experiment": "figure6", "benchmark": name, "config": config},
+        )
+        for config, protocol in configs.items()
+    ]
+
+
+def rows_from_campaign(outcome: CampaignResult) -> List[OverheadRow]:
+    """Group Figure 6 campaign records back into per-benchmark rows."""
+    rows: Dict[str, OverheadRow] = {}
+    for spec, record in zip(outcome.specs, outcome.records):
+        benchmark = spec.tags["benchmark"]
+        config = spec.tags["config"]
+        row = rows.get(benchmark)
+        if row is None:
+            row = rows[benchmark] = OverheadRow(
+                benchmark=benchmark,
+                nprocs=spec.workload.nprocs,
+                iterations=spec.workload.iterations,
+            )
+        result = record["result"]
+        row.makespans_s[config] = result["makespan"]
+        row.logged_fraction[config] = result["stats"]["logged_fraction_bytes"]
+    return list(rows.values())
 
 
 def measure_overhead(
@@ -76,51 +138,21 @@ def measure_overhead(
     clusters: Optional[Sequence[Sequence[int]]] = None,
     include_hybrid_event_logging: bool = False,
     message_scale: float = 1.0,
+    workers: int = 1,
+    store: Optional[ResultsStore] = None,
 ) -> OverheadRow:
     """Measure the Figure 6 configurations for one benchmark."""
-    name = benchmark.lower()
-    network = network or MyrinetMXModel()
-    clusters = (
-        [list(c) for c in clusters]
-        if clusters is not None
-        else _cluster_for(name, nprocs, iterations)
+    specs = overhead_specs(
+        benchmark,
+        nprocs=nprocs,
+        iterations=iterations,
+        network=network,
+        clusters=clusters,
+        include_hybrid_event_logging=include_hybrid_event_logging,
+        message_scale=message_scale,
     )
-
-    def _run(protocol) -> Simulation:
-        app = NAS_BENCHMARKS[name](
-            nprocs=nprocs, iterations=iterations, message_scale=message_scale
-        )
-        sim = Simulation(
-            app,
-            nprocs=nprocs,
-            protocol=protocol,
-            config=SimulationConfig(network=network, record_trace_events=False),
-        )
-        sim.run()
-        return sim
-
-    row = OverheadRow(benchmark=name, nprocs=nprocs, iterations=iterations)
-
-    native = _run(None)
-    row.makespans_s["native"] = native.stats.makespan
-    row.logged_fraction["native"] = 0.0
-
-    log_all = _run(HydEEProtocol(HydEEConfig(log_all_messages=True)))
-    row.makespans_s["message_logging"] = log_all.stats.makespan
-    row.logged_fraction["message_logging"] = log_all.stats.logged_fraction_bytes
-
-    hydee = _run(HydEEProtocol(HydEEConfig(clusters=clusters)))
-    row.makespans_s["hydee"] = hydee.stats.makespan
-    row.logged_fraction["hydee"] = hydee.stats.logged_fraction_bytes
-
-    if include_hybrid_event_logging:
-        from repro.ftprotocols.hybrid_event_logging import HybridEventLoggingProtocol
-
-        hybrid = _run(HybridEventLoggingProtocol(HydEEConfig(clusters=clusters)))
-        row.makespans_s["hybrid_event_logging"] = hybrid.stats.makespan
-        row.logged_fraction["hybrid_event_logging"] = hybrid.stats.logged_fraction_bytes
-
-    return row
+    outcome = run_campaign(specs, workers=workers, store=store)
+    return rows_from_campaign(outcome)[0]
 
 
 def build_figure6(
@@ -129,19 +161,27 @@ def build_figure6(
     iterations: int = 2,
     network: Optional[NetworkModel] = None,
     include_hybrid_event_logging: bool = False,
+    workers: int = 1,
+    store: Optional[ResultsStore] = None,
 ) -> List[OverheadRow]:
-    """Measure every Figure 6 group of bars."""
+    """Measure every Figure 6 group of bars (one campaign over the grid)."""
     benchmarks = list(benchmarks) if benchmarks is not None else list(NAS_BENCHMARKS)
-    return [
-        measure_overhead(
-            name,
-            nprocs=nprocs,
-            iterations=iterations,
-            network=network,
-            include_hybrid_event_logging=include_hybrid_event_logging,
+    specs: List[ScenarioSpec] = []
+    for name in benchmarks:
+        specs.extend(
+            overhead_specs(
+                name,
+                nprocs=nprocs,
+                iterations=iterations,
+                network=network,
+                include_hybrid_event_logging=include_hybrid_event_logging,
+            )
         )
-        for name in benchmarks
-    ]
+    outcome = run_campaign(specs, workers=workers, store=store)
+    rows = rows_from_campaign(outcome)
+    order = {name: idx for idx, name in enumerate(benchmarks)}
+    rows.sort(key=lambda row: order[row.benchmark])
+    return rows
 
 
 def render_figure6(rows: Sequence[OverheadRow]) -> str:

@@ -142,3 +142,52 @@ def iteration_overhead_estimate(
     )
     base_total = compute_seconds + base_comm
     return (base_total + overhead) / base_total
+
+
+def piggyback_policy_rows(
+    network: NetworkModel,
+    sizes: Sequence[int],
+    piggyback_bytes: int = 12,
+) -> List[Dict[str, float]]:
+    """Per-policy one-way overhead decomposition (ablation E5).
+
+    For each message size, the visible overhead of every piggyback policy in
+    percent of the native one-way time, plus the extra cost of sender-based
+    logging under the paper's hybrid rule.
+    """
+    rows: List[Dict[str, float]] = []
+    hybrid = PiggybackPolicy.INLINE_SMALL_SEPARATE_LARGE
+    for size in sizes:
+        row: Dict[str, float] = {"bytes": float(size)}
+        for policy in (
+            PiggybackPolicy.NONE,
+            PiggybackPolicy.INLINE,
+            PiggybackPolicy.SEPARATE,
+            hybrid,
+        ):
+            cost = message_cost(network, size, piggyback_bytes, policy, logging=False)
+            row[f"{policy.value}_pct"] = 100.0 * cost.overhead_fraction
+        logged = message_cost(network, size, piggyback_bytes, hybrid, logging=True)
+        row["logging_extra_pct"] = (
+            100.0 * logged.overhead_fraction - row[f"{hybrid.value}_pct"]
+        )
+        rows.append(row)
+    return rows
+
+
+def piggyback_policy_job(spec):
+    """Campaign job for the piggyback-policy ablation (analytic, E5).
+
+    The scenario's netpipe workload supplies the size sweep, its protocol
+    options the piggybacked byte count, and its network spec the model.
+    Imported lazily by the campaign job registry.
+    """
+    from repro.campaign.jobs import jsonify
+    from repro.scenarios.build import build_network
+
+    sizes = list(spec.workload.params.get("sizes") or netpipe_sizes(1 << 20))
+    piggyback_bytes = int(spec.protocol.options.get("piggyback_bytes", 12))
+    rows = piggyback_policy_rows(
+        build_network(spec), sizes, piggyback_bytes=piggyback_bytes
+    )
+    return {"rows": jsonify(rows)}, rows

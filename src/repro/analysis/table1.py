@@ -9,18 +9,29 @@ For each of the six NAS class D kernels the harness
 3. reports the number of clusters, the average fraction of processes rolled
    back by a single failure and the logged/total volume -- the three columns
    of Table I -- next to the paper's values.
+
+The computation is declared per benchmark as a :class:`ScenarioSpec` with
+the ``table1-row`` analysis and executed through the campaign runner (the
+cluster-count frontier sweep of ablation E6 is the ``cluster-sweep``
+analysis in the same fashion), so whole-table builds parallelise and cache
+like any other campaign.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.reporting import format_table
 from repro.clustering.comm_graph import CommunicationGraph
 from repro.clustering.metrics import ClusteringMetrics
-from repro.clustering.partitioner import ClusteringResult, partition
+from repro.clustering.partitioner import ClusteringResult, partition, sweep_cluster_counts
 from repro.clustering.presets import TABLE1_CLUSTER_COUNTS, TABLE1_PAPER_VALUES
+from repro.campaign.jobs import jsonify
+from repro.campaign.runner import run_campaign
+from repro.campaign.store import ResultsStore
+from repro.scenarios.build import build_application
+from repro.scenarios.spec import ClusteringSpec, ProtocolSpec, ScenarioSpec, WorkloadSpec
 from repro.workloads.nas import NAS_BENCHMARKS
 
 
@@ -54,20 +65,61 @@ class Table1Row:
         }
 
 
-def table1_row(
+# ------------------------------------------------------------ scenario layer
+def table1_spec(
     benchmark: str,
     nprocs: int = 256,
     num_clusters: Optional[int] = None,
     balance_tolerance: float = 1.1,
-    method: str = "auto",
-) -> Table1Row:
-    """Compute one Table I row."""
+) -> ScenarioSpec:
+    """Declare one Table I row as an analytic campaign scenario."""
     name = benchmark.lower()
-    app = NAS_BENCHMARKS[name](nprocs=nprocs, iterations=1)
+    clustering = ClusteringSpec(
+        method="preset" if num_clusters is None else "partition",
+        num_clusters=num_clusters,
+        balance_tolerance=balance_tolerance,
+        matrix="full",
+    )
+    return ScenarioSpec(
+        name=f"table1:{name}:np{nprocs}",
+        workload=WorkloadSpec(kind=name, nprocs=nprocs, iterations=1),
+        protocol=ProtocolSpec(name="hydee", clustering=clustering),
+        tags={"experiment": "table1", "analysis": "table1-row", "benchmark": name},
+    )
+
+
+def cluster_sweep_spec(
+    benchmark: str,
+    nprocs: int = 256,
+    counts: Sequence[int] = (2, 4, 8, 16, 32),
+) -> ScenarioSpec:
+    """Declare a cluster-count frontier sweep (ablation E6) scenario."""
+    name = benchmark.lower()
+    return ScenarioSpec(
+        name=f"cluster-sweep:{name}:np{nprocs}",
+        workload=WorkloadSpec(kind=name, nprocs=nprocs, iterations=1),
+        protocol=ProtocolSpec(name="hydee"),
+        tags={
+            "experiment": "ablation-clusters",
+            "analysis": "cluster-sweep",
+            "benchmark": name,
+            "counts": [int(k) for k in counts],
+        },
+    )
+
+
+def _compute_row(
+    benchmark: str,
+    nprocs: int,
+    num_clusters: Optional[int],
+    balance_tolerance: float,
+) -> Table1Row:
+    name = benchmark.lower()
+    app = build_application(WorkloadSpec(kind=name, nprocs=nprocs, iterations=1))
     graph = CommunicationGraph.from_matrix(app.full_run_matrix())
     k = num_clusters if num_clusters is not None else TABLE1_CLUSTER_COUNTS[name]
     result: ClusteringResult = partition(
-        graph, k, method=method, balance_tolerance=balance_tolerance
+        graph, min(k, nprocs), method="auto", balance_tolerance=balance_tolerance
     )
     metrics: ClusteringMetrics = result.metrics
     paper = TABLE1_PAPER_VALUES.get(name, {})
@@ -84,17 +136,79 @@ def table1_row(
     )
 
 
+def table1_job(spec: ScenarioSpec) -> Tuple[Dict[str, Any], Table1Row]:
+    """Campaign job computing one Table I row from its scenario spec."""
+    clustering = spec.protocol.clustering
+    row = _compute_row(
+        spec.workload.kind,
+        spec.workload.nprocs,
+        clustering.num_clusters,
+        clustering.balance_tolerance,
+    )
+    return jsonify(asdict(row)), row
+
+
+def cluster_sweep_job(spec: ScenarioSpec) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Campaign job sweeping the cluster count of one benchmark (E6)."""
+    counts = [k for k in spec.tags["counts"] if k <= spec.workload.nprocs]
+    app = build_application(spec.workload)
+    graph = CommunicationGraph.from_matrix(app.full_run_matrix())
+    rows = []
+    for result in sweep_cluster_counts(graph, counts):
+        metrics = result.metrics
+        rows.append(
+            {
+                "clusters": metrics.num_clusters,
+                "rollback_pct": round(100.0 * metrics.rollback_fraction, 2),
+                "logged_pct": round(100.0 * metrics.logged_fraction, 2),
+                "logged_gb": round(metrics.logged_bytes / 1e9, 1),
+                "method": result.method,
+            }
+        )
+    return {"rows": jsonify(rows)}, rows
+
+
+def row_from_record(record: Mapping[str, Any]) -> Table1Row:
+    """Rebuild a :class:`Table1Row` from a (possibly cached) campaign record."""
+    payload = dict(record["result"])
+    payload["clusters"] = [list(c) for c in payload["clusters"]]
+    return Table1Row(**payload)
+
+
+# ----------------------------------------------------------------- harnesses
+def table1_row(
+    benchmark: str,
+    nprocs: int = 256,
+    num_clusters: Optional[int] = None,
+    balance_tolerance: float = 1.1,
+    store: Optional[ResultsStore] = None,
+) -> Table1Row:
+    """Compute one Table I row."""
+    spec = table1_spec(
+        benchmark,
+        nprocs=nprocs,
+        num_clusters=num_clusters,
+        balance_tolerance=balance_tolerance,
+    )
+    outcome = run_campaign([spec], store=store)
+    return row_from_record(outcome.records[0])
+
+
 def build_table1(
     benchmarks: Optional[Sequence[str]] = None,
     nprocs: int = 256,
     balance_tolerance: float = 1.1,
+    workers: int = 1,
+    store: Optional[ResultsStore] = None,
 ) -> List[Table1Row]:
-    """Compute every row of Table I."""
+    """Compute every row of Table I (one campaign over the benchmarks)."""
     benchmarks = list(benchmarks) if benchmarks is not None else list(NAS_BENCHMARKS)
-    return [
-        table1_row(name, nprocs=nprocs, balance_tolerance=balance_tolerance)
+    specs = [
+        table1_spec(name, nprocs=nprocs, balance_tolerance=balance_tolerance)
         for name in benchmarks
     ]
+    outcome = run_campaign(specs, workers=workers, store=store)
+    return [row_from_record(record) for record in outcome.records]
 
 
 def render_table1(rows: Sequence[Table1Row]) -> str:

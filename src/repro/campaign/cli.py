@@ -1,0 +1,123 @@
+"""Command-line campaign runner: ``python -m repro.campaign`` / ``repro-campaign``.
+
+Subcommands
+-----------
+
+``run SPECFILE``
+    Execute every scenario in a JSON spec file (one spec object or a list),
+    optionally fanned out over worker processes and cached in a results
+    store::
+
+        repro-campaign run specs.json --workers 4 --store results.json
+
+``list SPECFILE``
+    Show the scenarios and their cache hashes without running anything.
+
+``demo``
+    Write an example sweep (stencil/ring x protocol grid) to a spec file to
+    get started::
+
+        repro-campaign demo --out specs.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.campaign.runner import run_campaign
+from repro.campaign.store import ResultsStore
+from repro.errors import ReproError
+from repro.scenarios.spec import ProtocolSpec, ScenarioSpec, WorkloadSpec, load_specs
+from repro.scenarios.sweep import sweep
+
+
+def _read_specs(path: str) -> List[ScenarioSpec]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return list(load_specs(json.load(fh)))
+
+
+def _demo_specs() -> List[ScenarioSpec]:
+    base = ScenarioSpec(
+        name="demo",
+        workload=WorkloadSpec(kind="stencil2d", nprocs=16, iterations=6),
+        protocol=ProtocolSpec(name="none"),
+    )
+    return sweep(
+        base,
+        {
+            "workload.kind": ["stencil2d", "ring"],
+            "workload.nprocs": [8, 16],
+            "protocol.name": ["none", "hydee-log-all"],
+        },
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    try:
+        return _main(argv)
+    except (ReproError, OSError, json.JSONDecodeError, TypeError) as exc:
+        # User errors (bad paths, malformed spec files, unknown names) get a
+        # one-line message, not a traceback.
+        print(f"repro-campaign: error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign", description="Run declarative scenario campaigns."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="execute the scenarios in a spec file")
+    run_parser.add_argument("specfile", help="JSON file with one spec or a list of specs")
+    run_parser.add_argument("--workers", type=int, default=1,
+                            help="worker processes (1 = serial)")
+    run_parser.add_argument("--store", default=None,
+                            help="JSON results store (cache) path")
+    run_parser.add_argument("--force", action="store_true",
+                            help="re-execute scenarios even when cached")
+    run_parser.add_argument("--json", action="store_true", dest="as_json",
+                            help="print the records as JSON instead of a table")
+
+    list_parser = sub.add_parser("list", help="list the scenarios in a spec file")
+    list_parser.add_argument("specfile")
+
+    demo_parser = sub.add_parser("demo", help="write an example spec file")
+    demo_parser.add_argument("--out", default="campaign-specs.json")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "demo":
+        specs = _demo_specs()
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump([s.to_dict() for s in specs], fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {len(specs)} scenarios to {args.out}")
+        print(f"run them with: repro-campaign run {args.out} --workers 2")
+        return 0
+
+    specs = _read_specs(args.specfile)
+    if args.command == "list":
+        for spec in specs:
+            print(f"{spec.spec_hash()}  {spec.name:40s} {spec.describe()}")
+        return 0
+
+    store = ResultsStore(args.store) if args.store else None
+    outcome = run_campaign(
+        specs, workers=args.workers, store=store, force=args.force
+    )
+    if args.as_json:
+        json.dump(outcome.records, sys.stdout, indent=1, sort_keys=True)
+        print()
+    else:
+        print(outcome.summary_table())
+    if args.store:
+        print(f"results store: {args.store} ({len(store)} records)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,153 @@
+"""Execute scenario specs serially or fanned out over worker processes.
+
+The runner is deliberately deterministic: records are keyed and ordered by
+the input spec list, never by completion order, and contain no wall-clock
+data -- a serial campaign and an N-worker campaign over the same specs
+produce byte-identical records (and byte-identical store files).
+
+Completed records are cached in a :class:`~repro.campaign.store.
+ResultsStore` keyed by spec hash; a cache hit skips execution entirely.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.campaign.jobs import analysis_of, resolve_analysis
+from repro.campaign.store import ResultsStore
+from repro.errors import ConfigurationError
+from repro.scenarios.spec import ScenarioSpec
+
+
+def run_spec(spec: ScenarioSpec, keep_artifact: bool = False) -> Tuple[Dict[str, Any], Any]:
+    """Execute one spec's job; returns ``(record, artifact)``.
+
+    The record embeds the spec itself, so a results store is self-describing
+    and a record can be traced back to the exact scenario that produced it.
+    """
+    job = resolve_analysis(analysis_of(spec))
+    payload, artifact = job(spec)
+    record = {
+        "name": spec.name,
+        "spec": spec.to_dict(),
+        "spec_hash": spec.spec_hash(),
+        "analysis": analysis_of(spec),
+        "result": payload,
+    }
+    return record, (artifact if keep_artifact else None)
+
+
+def _execute(args: Tuple[int, ScenarioSpec, bool]) -> Tuple[int, Dict[str, Any], Any]:
+    index, spec, keep_artifact = args
+    record, artifact = run_spec(spec, keep_artifact=keep_artifact)
+    return index, record, artifact
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of :func:`run_campaign`, ordered like the input specs."""
+
+    specs: List[ScenarioSpec]
+    records: List[Dict[str, Any]]
+    artifacts: List[Any]
+    cache_hits: int = 0
+    executed: int = 0
+    workers: int = 1
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def summary_table(self, title: Optional[str] = None) -> str:
+        # Imported lazily: the analysis package itself builds on the campaign
+        # runner, so a module-level import would be circular.
+        from repro.analysis.reporting import format_dict_table
+
+        rows = []
+        for spec, record in zip(self.specs, self.records):
+            result = record.get("result", {})
+            rows.append(
+                {
+                    "name": record["name"],
+                    "scenario": spec.describe(),
+                    "analysis": record["analysis"],
+                    "status": result.get("status", "-"),
+                    "makespan_ms": (
+                        round(result["makespan"] * 1e3, 3)
+                        if isinstance(result.get("makespan"), (int, float))
+                        else "-"
+                    ),
+                    "hash": record["spec_hash"],
+                }
+            )
+        return format_dict_table(
+            rows,
+            columns=["name", "scenario", "analysis", "status", "makespan_ms", "hash"],
+            title=title or f"Campaign: {len(self.records)} scenarios "
+            f"({self.executed} executed, {self.cache_hits} cached)",
+        )
+
+
+def run_campaign(
+    specs: Sequence[ScenarioSpec],
+    workers: int = 1,
+    store: Optional[ResultsStore] = None,
+    force: bool = False,
+    keep_artifacts: bool = False,
+    mp_context: Optional[str] = None,
+) -> CampaignResult:
+    """Run every spec, using the cache and up to ``workers`` processes.
+
+    * ``store`` -- completed records are looked up / saved there by spec
+      hash; ``None`` disables caching.
+    * ``force`` -- execute even when a cached record exists.
+    * ``keep_artifacts`` -- propagate live job artifacts (e.g. full
+      :class:`SimulationResult` objects).  Cache hits have no artifact.
+    * ``workers`` -- number of processes; ``<= 1`` runs in-process.  Specs
+      are picklable by construction, so fan-out needs no extra setup.
+    """
+    specs = list(specs)
+    if not specs:
+        return CampaignResult(specs=[], records=[], artifacts=[])
+
+    records: List[Optional[Dict[str, Any]]] = [None] * len(specs)
+    artifacts: List[Any] = [None] * len(specs)
+    pending: List[Tuple[int, ScenarioSpec, bool]] = []
+    cache_hits = 0
+
+    for index, spec in enumerate(specs):
+        cached = None if (store is None or force) else store.get(spec.spec_hash())
+        if cached is not None:
+            records[index] = cached
+            cache_hits += 1
+        else:
+            pending.append((index, spec, keep_artifacts))
+
+    if pending:
+        if workers > 1 and len(pending) > 1:
+            if mp_context is None and "fork" in multiprocessing.get_all_start_methods():
+                mp_context = "fork"
+            context = multiprocessing.get_context(mp_context)
+            with context.Pool(processes=min(workers, len(pending))) as pool:
+                outcomes = pool.map(_execute, pending)
+        else:
+            outcomes = [_execute(item) for item in pending]
+        for index, record, artifact in outcomes:
+            records[index] = record
+            artifacts[index] = artifact
+            if store is not None:
+                store.put(record["spec_hash"], record)
+        if store is not None:
+            store.save()
+
+    missing = [i for i, r in enumerate(records) if r is None]
+    if missing:
+        raise ConfigurationError(f"campaign lost records for spec indexes {missing}")
+
+    return CampaignResult(
+        specs=specs,
+        records=[r for r in records if r is not None],
+        artifacts=artifacts,
+        cache_hits=cache_hits,
+        executed=len(pending),
+        workers=workers,
+    )

@@ -1,0 +1,75 @@
+"""Spec-hash-keyed JSON store for completed campaign records.
+
+The store maps :meth:`ScenarioSpec.spec_hash` to the record produced by the
+scenario's job.  Records are pure JSON (see
+:func:`repro.campaign.jobs.jsonify`); the file is written with sorted keys
+so two campaigns that computed the same records produce byte-identical
+files regardless of execution order or worker count.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, Iterator, Optional
+
+STORE_VERSION = 1
+
+
+class ResultsStore:
+    """JSON-file-backed (or purely in-memory) record cache."""
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path
+        self._records: Dict[str, Dict[str, Any]] = {}
+        if path is not None and os.path.exists(path):
+            self._load()
+
+    # ------------------------------------------------------------------- i/o
+    def _load(self) -> None:
+        with open(self.path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        if not isinstance(data, dict) or "records" not in data:
+            raise ValueError(f"{self.path}: not a campaign results store")
+        self._records = dict(data["records"])
+
+    def save(self) -> None:
+        """Write the store atomically (no-op for in-memory stores)."""
+        if self.path is None:
+            return
+        payload = {"version": STORE_VERSION, "records": self._records}
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True, indent=1)
+                fh.write("\n")
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+
+    # --------------------------------------------------------------- records
+    def get(self, spec_hash: str) -> Optional[Dict[str, Any]]:
+        return self._records.get(spec_hash)
+
+    def put(self, spec_hash: str, record: Dict[str, Any]) -> None:
+        self._records[spec_hash] = record
+
+    def __contains__(self, spec_hash: str) -> bool:
+        return spec_hash in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._records)
+
+    def records(self) -> Dict[str, Dict[str, Any]]:
+        return dict(self._records)
+
+    def clear(self) -> None:
+        self._records.clear()

@@ -12,6 +12,13 @@ Each module exposes a ``run(...)`` function returning plain data and a
 
 Full-scale (256-rank) runs are selected with ``--full`` where relevant; the
 defaults are sized to finish in seconds on a laptop.
+
+Every module declares its runs as :class:`repro.scenarios.ScenarioSpec`
+objects and executes them through the campaign runner
+(:mod:`repro.campaign`), so ``--workers N`` parallelises any experiment and
+``--store PATH`` caches completed records.  The ``repro-experiment``
+console script (:mod:`repro.experiments.cli`) dispatches to any of them by
+name.
 """
 
 from repro.experiments import (  # noqa: F401  (re-exported for convenience)

@@ -4,6 +4,10 @@ The trade-off the clustering tool optimises (Section V-B, [28]): more
 clusters mean a smaller rollback after a failure but more inter-cluster
 traffic to log.  This ablation sweeps the number of clusters for each NAS
 benchmark and prints the frontier.
+
+The sweep is declared as a ``cluster-sweep`` campaign scenario
+(:func:`repro.analysis.table1.cluster_sweep_spec`) and executed through the
+campaign runner.
 """
 
 from __future__ import annotations
@@ -12,8 +16,9 @@ import argparse
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.reporting import format_table
-from repro.clustering.comm_graph import CommunicationGraph
-from repro.clustering.partitioner import sweep_cluster_counts
+from repro.analysis.table1 import cluster_sweep_spec
+from repro.campaign.runner import run_campaign
+from repro.campaign.store import ResultsStore
 from repro.workloads.nas import NAS_BENCHMARKS
 
 
@@ -21,25 +26,12 @@ def run(
     benchmark: str = "bt",
     nprocs: int = 256,
     counts: Optional[Sequence[int]] = None,
+    store: Optional[ResultsStore] = None,
 ) -> List[Dict[str, float]]:
     counts = list(counts) if counts is not None else [2, 4, 8, 16, 32]
-    counts = [k for k in counts if k <= nprocs]
-    app = NAS_BENCHMARKS[benchmark.lower()](nprocs=nprocs, iterations=1)
-    graph = CommunicationGraph.from_matrix(app.full_run_matrix())
-    results = sweep_cluster_counts(graph, counts)
-    rows = []
-    for result in results:
-        metrics = result.metrics
-        rows.append(
-            {
-                "clusters": metrics.num_clusters,
-                "rollback_pct": round(100.0 * metrics.rollback_fraction, 2),
-                "logged_pct": round(100.0 * metrics.logged_fraction, 2),
-                "logged_gb": round(metrics.logged_bytes / 1e9, 1),
-                "method": result.method,
-            }
-        )
-    return rows
+    spec = cluster_sweep_spec(benchmark, nprocs=nprocs, counts=counts)
+    outcome = run_campaign([spec], store=store)
+    return outcome.records[0]["result"]["rows"]
 
 
 def render(benchmark: str, rows: Sequence[Dict[str, float]]) -> str:

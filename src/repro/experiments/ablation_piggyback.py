@@ -5,6 +5,10 @@ Section V-A describes the prototype's hybrid piggybacking rule (inline below
 overhead of each policy in isolation, and with/without sender-based logging,
 to show where the two Figure 5 peaks come from and why the logging memcpy is
 invisible.
+
+The study is declared as a single ``piggyback-policy`` campaign scenario
+(the netpipe workload supplies the size sweep, the protocol options the
+piggybacked byte count) and executed through the campaign runner.
 """
 
 from __future__ import annotations
@@ -12,39 +16,44 @@ from __future__ import annotations
 import argparse
 from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.perf_model import message_cost
 from repro.analysis.reporting import format_table
-from repro.simulator.network import MyrinetMXModel, NetworkModel, PiggybackPolicy, netpipe_sizes
+from repro.campaign.runner import run_campaign
+from repro.campaign.store import ResultsStore
+from repro.scenarios.build import to_network_spec
+from repro.scenarios.spec import ProtocolSpec, ScenarioSpec, WorkloadSpec
+from repro.simulator.network import NetworkModel, netpipe_sizes
+
+
+def piggyback_spec(
+    sizes: Optional[Sequence[int]] = None,
+    network: Optional[NetworkModel] = None,
+    piggyback_bytes: int = 12,
+) -> ScenarioSpec:
+    """Declare the piggyback-policy decomposition as a campaign scenario."""
+    sizes = list(sizes) if sizes is not None else [s for s in netpipe_sizes(1 << 20)]
+    return ScenarioSpec(
+        name="ablation:piggyback",
+        workload=WorkloadSpec(
+            kind="netpipe", nprocs=2, iterations=1, params={"sizes": sizes}
+        ),
+        protocol=ProtocolSpec(
+            name="hydee", options={"piggyback_bytes": piggyback_bytes}
+        ),
+        network=to_network_spec(network),
+        tags={"experiment": "ablation-piggyback", "analysis": "piggyback-policy"},
+    )
 
 
 def run(
     sizes: Optional[Sequence[int]] = None,
     network: Optional[NetworkModel] = None,
     piggyback_bytes: int = 12,
+    store: Optional[ResultsStore] = None,
 ) -> List[Dict[str, float]]:
     """Overhead (in % of the native one-way time) per policy and per size."""
-    network = network or MyrinetMXModel()
-    sizes = list(sizes) if sizes is not None else [s for s in netpipe_sizes(1 << 20)]
-    rows: List[Dict[str, float]] = []
-    for size in sizes:
-        row: Dict[str, float] = {"bytes": float(size)}
-        for policy in (
-            PiggybackPolicy.NONE,
-            PiggybackPolicy.INLINE,
-            PiggybackPolicy.SEPARATE,
-            PiggybackPolicy.INLINE_SMALL_SEPARATE_LARGE,
-        ):
-            cost = message_cost(network, size, piggyback_bytes, policy, logging=False)
-            row[f"{policy.value}_pct"] = 100.0 * cost.overhead_fraction
-        logged = message_cost(
-            network, size, piggyback_bytes,
-            PiggybackPolicy.INLINE_SMALL_SEPARATE_LARGE, logging=True,
-        )
-        row["logging_extra_pct"] = 100.0 * logged.overhead_fraction - row[
-            f"{PiggybackPolicy.INLINE_SMALL_SEPARATE_LARGE.value}_pct"
-        ]
-        rows.append(row)
-    return rows
+    spec = piggyback_spec(sizes=sizes, network=network, piggyback_bytes=piggyback_bytes)
+    outcome = run_campaign([spec], store=store)
+    return outcome.records[0]["result"]["rows"]
 
 
 def render(rows: Sequence[Dict[str, float]]) -> str:

@@ -1,0 +1,57 @@
+"""``repro-experiment`` console entry point: run any paper experiment by name.
+
+Usage::
+
+    repro-experiment table1 --nprocs 256
+    repro-experiment figure6 --workers 4
+    repro-experiment list
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments import (
+    ablation_clusters,
+    ablation_piggyback,
+    figure5,
+    figure6,
+    recovery_containment,
+    table1,
+)
+
+#: experiment name -> module main(argv) (the uniform runner registry).
+EXPERIMENTS: Dict[str, Callable[[Optional[Sequence[str]]], int]] = {
+    "table1": table1.main,
+    "figure5": figure5.main,
+    "figure6": figure6.main,
+    "recovery-containment": recovery_containment.main,
+    "ablation-piggyback": ablation_piggyback.main,
+    "ablation-clusters": ablation_clusters.main,
+}
+
+
+def available_experiments() -> List[str]:
+    return sorted(EXPERIMENTS)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help", "list"):
+        print("usage: repro-experiment <name> [experiment options]")
+        print("available experiments:")
+        for name in available_experiments():
+            print(f"  {name}")
+        return 0 if argv else 2
+    name, rest = argv[0], argv[1:]
+    runner = EXPERIMENTS.get(name)
+    if runner is None:
+        print(f"unknown experiment {name!r}; available: "
+              f"{', '.join(available_experiments())}", file=sys.stderr)
+        return 2
+    return runner(rest)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

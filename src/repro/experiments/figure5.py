@@ -1,4 +1,11 @@
-"""Experiment E2: Figure 5 -- NetPIPE ping-pong latency/bandwidth degradation."""
+"""Experiment E2: Figure 5 -- NetPIPE ping-pong latency/bandwidth degradation.
+
+The three configurations (native, HydEE without logging, HydEE with
+logging) are declared as scenario specs by
+:func:`repro.analysis.netpipe_analysis.netpipe_specs` and executed through
+the campaign runner; ``--workers`` fans them out over processes and
+``--store`` caches completed records.
+"""
 
 from __future__ import annotations
 
@@ -11,6 +18,7 @@ from repro.analysis.netpipe_analysis import (
     run_netpipe_experiment,
 )
 from repro.analysis.reporting import format_series
+from repro.campaign.store import ResultsStore
 from repro.simulator.network import netpipe_sizes
 
 
@@ -18,10 +26,14 @@ def run(
     max_bytes: int = 8 * 1024 * 1024,
     repeats: int = 3,
     sizes: Optional[Sequence[int]] = None,
+    workers: int = 1,
+    store: Optional[ResultsStore] = None,
 ) -> NetpipeResult:
     """Run the simulated ping-pong sweep (native / HydEE no-log / HydEE log)."""
     sizes = list(sizes) if sizes is not None else list(netpipe_sizes(max_bytes))
-    return run_netpipe_experiment(sizes=sizes, repeats=repeats)
+    return run_netpipe_experiment(
+        sizes=sizes, repeats=repeats, workers=workers, store=store
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -29,11 +41,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--max-bytes", type=int, default=8 * 1024 * 1024,
                         help="largest ping-pong message (paper: 8 MiB)")
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="campaign worker processes")
+    parser.add_argument("--store", default=None,
+                        help="JSON campaign results store (cache)")
     parser.add_argument("--analytic", action="store_true",
                         help="also print the closed-form model prediction")
     args = parser.parse_args(argv)
 
-    result = run(max_bytes=args.max_bytes, repeats=args.repeats)
+    store = ResultsStore(args.store) if args.store else None
+    result = run(max_bytes=args.max_bytes, repeats=args.repeats,
+                 workers=args.workers, store=store)
     print(result.as_text())
 
     if args.analytic:

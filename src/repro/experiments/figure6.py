@@ -1,4 +1,9 @@
-"""Experiment E3: Figure 6 -- NAS failure-free overhead (normalized time)."""
+"""Experiment E3: Figure 6 -- NAS failure-free overhead (normalized time).
+
+Every (benchmark x configuration) cell is declared as a scenario spec by
+:func:`repro.analysis.overhead.overhead_specs` and the whole grid runs as
+one campaign; ``--workers`` fans the grid out over processes.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +11,7 @@ import argparse
 from typing import List, Optional, Sequence
 
 from repro.analysis.overhead import OverheadRow, build_figure6, render_figure6
+from repro.campaign.store import ResultsStore
 from repro.clustering.presets import FIGURE6_PAPER_OVERHEAD
 
 
@@ -14,6 +20,8 @@ def run(
     nprocs: int = 64,
     iterations: int = 2,
     include_hybrid_event_logging: bool = False,
+    workers: int = 1,
+    store: Optional[ResultsStore] = None,
 ) -> List[OverheadRow]:
     """Measure the normalized execution time of the Figure 6 configurations.
 
@@ -26,6 +34,8 @@ def run(
         nprocs=nprocs,
         iterations=iterations,
         include_hybrid_event_logging=include_hybrid_event_logging,
+        workers=workers,
+        store=store,
     )
 
 
@@ -38,13 +48,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--benchmarks", nargs="*", default=None)
     parser.add_argument("--hybrid", action="store_true",
                         help="also measure the hybrid protocol with event logging")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="campaign worker processes")
+    parser.add_argument("--store", default=None,
+                        help="JSON campaign results store (cache)")
     args = parser.parse_args(argv)
     nprocs = 256 if args.full else args.nprocs
+    store = ResultsStore(args.store) if args.store else None
     rows = run(
         benchmarks=args.benchmarks,
         nprocs=nprocs,
         iterations=args.iterations,
         include_hybrid_event_logging=args.hybrid,
+        workers=args.workers,
+        store=store,
     )
     print(render_figure6(rows))
     print()

@@ -4,6 +4,11 @@ Injects the same failure under HydEE, global coordinated checkpointing and
 full message logging, and reports who rolls back, what is replayed, and
 whether the recovered execution matches the failure-free reference (the
 functional claims of Sections III-IV).
+
+The reference run and the per-protocol failure runs are declared as
+scenario specs (:func:`repro.analysis.containment.containment_specs`) and
+executed as one campaign with live artifacts (the experiment compares
+send-sequence traces and per-rank results across runs).
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ def run(
     fail_at_iteration: int = 5,
     num_clusters: int = 4,
     checkpoint_interval: int = 2,
+    workers: int = 1,
 ) -> List[ContainmentRow]:
     return run_containment_experiment(
         nprocs=nprocs,
@@ -33,6 +39,7 @@ def run(
         fail_at_iteration=fail_at_iteration,
         num_clusters=num_clusters,
         checkpoint_interval=checkpoint_interval,
+        workers=workers,
     )
 
 
@@ -44,6 +51,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--fail-at-iteration", type=int, default=5)
     parser.add_argument("--clusters", type=int, default=4)
     parser.add_argument("--checkpoint-interval", type=int, default=2)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="campaign worker processes")
     args = parser.parse_args(argv)
     rows = run(
         nprocs=args.nprocs,
@@ -52,6 +61,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         fail_at_iteration=args.fail_at_iteration,
         num_clusters=args.clusters,
         checkpoint_interval=args.checkpoint_interval,
+        workers=args.workers,
     )
     print(render_containment(rows))
     return 0

@@ -1,4 +1,9 @@
-"""Experiment E1: Table I -- application clustering on 256 processes."""
+"""Experiment E1: Table I -- application clustering on 256 processes.
+
+Each benchmark's row is an analytic ``table1-row`` campaign scenario
+(:func:`repro.analysis.table1.table1_spec`); ``--workers`` computes rows in
+parallel and ``--store`` caches them.
+"""
 
 from __future__ import annotations
 
@@ -6,16 +11,20 @@ import argparse
 from typing import List, Optional, Sequence
 
 from repro.analysis.table1 import Table1Row, build_table1, render_table1
+from repro.campaign.store import ResultsStore
 
 
 def run(
     benchmarks: Optional[Sequence[str]] = None,
     nprocs: int = 256,
     balance_tolerance: float = 1.1,
+    workers: int = 1,
+    store: Optional[ResultsStore] = None,
 ) -> List[Table1Row]:
     """Compute the Table I rows (analytic communication graphs + partitioner)."""
     return build_table1(benchmarks=benchmarks, nprocs=nprocs,
-                        balance_tolerance=balance_tolerance)
+                        balance_tolerance=balance_tolerance,
+                        workers=workers, store=store)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -25,9 +34,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--benchmarks", nargs="*", default=None,
                         help="subset of NAS benchmarks (default: all six)")
     parser.add_argument("--balance-tolerance", type=float, default=1.1)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="campaign worker processes")
+    parser.add_argument("--store", default=None,
+                        help="JSON campaign results store (cache)")
     args = parser.parse_args(argv)
+    store = ResultsStore(args.store) if args.store else None
     rows = run(benchmarks=args.benchmarks, nprocs=args.nprocs,
-               balance_tolerance=args.balance_tolerance)
+               balance_tolerance=args.balance_tolerance,
+               workers=args.workers, store=store)
     print(render_table1(rows))
     return 0
 

@@ -1,0 +1,206 @@
+"""Build live simulations from declarative :class:`ScenarioSpec` objects.
+
+This module is the single place where scenario names are resolved into
+concrete objects: workload kinds into :class:`~repro.workloads.base.
+Application` instances, protocol names into
+:mod:`repro.ftprotocols.registry` factories, network model names into
+:class:`~repro.simulator.network.NetworkModel` subclasses, clustering
+methods into :mod:`repro.clustering` calls, and failure specs into a
+:class:`~repro.simulator.failures.FailureInjector`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.clustering.comm_graph import CommunicationGraph
+from repro.clustering.partitioner import block_partition, partition
+from repro.clustering.presets import TABLE1_CLUSTER_COUNTS
+from repro.errors import ConfigurationError
+from repro.ftprotocols.registry import make_protocol
+from repro.scenarios.spec import ClusteringSpec, ScenarioSpec, WorkloadSpec
+from repro.simulator.failures import FailureEvent, FailureInjector
+from repro.simulator.network import EthernetTCPModel, MyrinetMXModel, NetworkModel
+from repro.simulator.protocol_api import ProtocolHooks
+from repro.simulator.simulation import Simulation, SimulationConfig
+from repro.workloads import (
+    MasterWorkerApplication,
+    PingPongApplication,
+    PipelineApplication,
+    RingApplication,
+    Stencil1DApplication,
+    Stencil2DApplication,
+)
+from repro.workloads.nas import NAS_BENCHMARKS
+
+#: workload kind -> factory(nprocs, iterations, **params).
+WORKLOAD_FACTORIES: Dict[str, Callable[..., Any]] = {
+    "netpipe": PingPongApplication,
+    "ring": RingApplication,
+    "pipeline": PipelineApplication,
+    "stencil1d": Stencil1DApplication,
+    "stencil2d": Stencil2DApplication,
+    "master-worker": MasterWorkerApplication,
+}
+WORKLOAD_FACTORIES.update(NAS_BENCHMARKS)  # "bt", "cg", "ft", "lu", "mg", "sp"
+
+#: network model name -> NetworkModel subclass.
+NETWORK_MODELS: Dict[str, Callable[..., NetworkModel]] = {
+    "base": NetworkModel,
+    "myrinet-mx": MyrinetMXModel,
+    "ethernet-tcp": EthernetTCPModel,
+}
+
+#: protocol names that run without any protocol hooks at all.
+BARE_PROTOCOLS = ("none",)
+
+
+def available_workloads() -> List[str]:
+    return sorted(WORKLOAD_FACTORIES)
+
+
+def available_networks() -> List[str]:
+    return sorted(NETWORK_MODELS)
+
+
+def build_application(spec: WorkloadSpec) -> Any:
+    """Instantiate the workload described by ``spec``."""
+    try:
+        factory = WORKLOAD_FACTORIES[spec.kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown workload kind {spec.kind!r}; available: "
+            f"{', '.join(available_workloads())}"
+        ) from None
+    return factory(nprocs=spec.nprocs, iterations=spec.iterations, **spec.params)
+
+
+def to_network_spec(model: Optional[NetworkModel]):
+    """Describe a live network model instance as a :class:`NetworkSpec`.
+
+    Harness APIs historically accept ``NetworkModel`` instances; this maps
+    one back onto a declarative spec (model name + field overrides) so those
+    APIs can feed the campaign runner.  Only registered model classes are
+    supported -- a hand-rolled subclass has no declarative name.
+    """
+    from repro.scenarios.spec import NetworkSpec
+
+    if model is None:
+        return NetworkSpec()
+    for name, cls in NETWORK_MODELS.items():
+        if type(model) is cls:
+            reference = cls()
+            overrides = {
+                f.name: getattr(model, f.name)
+                for f in dataclasses.fields(cls)
+                if getattr(model, f.name) != getattr(reference, f.name)
+            }
+            # Normalise to pure JSON values so spec equality and spec hashes
+            # do not depend on tuple-vs-list representation.
+            overrides = json.loads(json.dumps(overrides))
+            return NetworkSpec(model=name, overrides=overrides)
+    raise ConfigurationError(
+        f"cannot express network model {type(model).__name__} as a spec; "
+        f"registered models: {', '.join(available_networks())}"
+    )
+
+
+def build_network(spec: ScenarioSpec) -> NetworkModel:
+    try:
+        model_cls = NETWORK_MODELS[spec.network.model]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown network model {spec.network.model!r}; available: "
+            f"{', '.join(available_networks())}"
+        ) from None
+    return model_cls(**spec.network.overrides)
+
+
+def resolve_clusters(
+    clustering: ClusteringSpec, workload: WorkloadSpec
+) -> Optional[List[List[int]]]:
+    """Materialise the cluster partition a clustering spec describes."""
+    if clustering.method == "none":
+        return None
+    if clustering.method == "explicit":
+        return [list(c) for c in clustering.clusters]
+    if clustering.method == "block":
+        return block_partition(workload.nprocs, clustering.num_clusters)
+    # Graph-partitioning methods need the workload's analytic matrix.
+    app = build_application(workload)
+    if clustering.matrix == "full":
+        matrix = app.full_run_matrix()
+    else:
+        matrix = app.communication_matrix()
+    graph = CommunicationGraph.from_matrix(matrix)
+    if clustering.method == "preset":
+        try:
+            k = TABLE1_CLUSTER_COUNTS[workload.kind]
+        except KeyError:
+            raise ConfigurationError(
+                f"clustering method 'preset' needs a NAS kernel workload "
+                f"(one of {', '.join(sorted(TABLE1_CLUSTER_COUNTS))}), "
+                f"got {workload.kind!r}"
+            ) from None
+    else:
+        k = clustering.num_clusters
+    k = min(k, workload.nprocs)
+    return partition(
+        graph, k, method="auto", balance_tolerance=clustering.balance_tolerance
+    ).clusters
+
+
+def build_protocol(spec: ScenarioSpec) -> Optional[ProtocolHooks]:
+    """Instantiate the protocol described by ``spec`` (None for a bare run)."""
+    name = spec.protocol.name
+    if name in BARE_PROTOCOLS:
+        return None
+    options = dict(spec.protocol.options)
+    clusters = resolve_clusters(spec.protocol.clustering, spec.workload)
+    if clusters is not None:
+        options["clusters"] = clusters
+    return make_protocol(name, **options)
+
+
+def build_failures(spec: ScenarioSpec) -> Optional[FailureInjector]:
+    if not spec.failures:
+        return None
+    return FailureInjector(
+        [
+            FailureEvent(
+                ranks=list(f.ranks),
+                time=f.time,
+                at_iteration=f.at_iteration,
+                rank_trigger=f.rank_trigger,
+            )
+            for f in spec.failures
+        ]
+    )
+
+
+def build_config(spec: ScenarioSpec) -> SimulationConfig:
+    overrides = dict(spec.config)
+    # Campaign scenarios default to the slim trace path; per-event records
+    # must be opted into explicitly (containment / invariant scenarios).
+    overrides.setdefault("record_trace_events", False)
+    valid = set(SimulationConfig.__dataclass_fields__) - {"network"}
+    unknown = set(overrides) - valid
+    if unknown:
+        raise ConfigurationError(
+            f"unknown SimulationConfig overrides: {sorted(unknown)} "
+            "(the network is set through NetworkSpec, not a config override)"
+        )
+    return SimulationConfig(network=build_network(spec), **overrides)
+
+
+def build(spec: ScenarioSpec) -> Simulation:
+    """Wire a :class:`Simulation` exactly as the spec declares it."""
+    return Simulation(
+        build_application(spec.workload),
+        nprocs=spec.workload.nprocs,
+        protocol=build_protocol(spec),
+        failures=build_failures(spec),
+        config=build_config(spec),
+    )

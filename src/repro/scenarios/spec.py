@@ -1,0 +1,248 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` is a frozen, JSON-round-trippable description of one
+simulated run: the workload (NAS kernel, NetPIPE ping-pong, ring, stencil,
+master-worker -- plus its parameters), the fault-tolerance protocol (by
+:mod:`repro.ftprotocols.registry` name), how the ranks are clustered, the
+network model, the failure schedule, and :class:`~repro.simulator.simulation.
+SimulationConfig` overrides.
+
+Specs are plain data: picklable by construction (so campaigns can fan them
+out over ``multiprocessing`` workers) and hashable by content (so completed
+results can be cached by :func:`ScenarioSpec.spec_hash`).  The factory that
+turns a spec into a live :class:`~repro.simulator.simulation.Simulation`
+lives in :mod:`repro.scenarios.build`; the grid expander for parameter
+sweeps lives in :mod:`repro.scenarios.sweep`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+def _freeze_mapping(value: Optional[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Normalise a params mapping to a plain dict (shallow copy)."""
+    return dict(value) if value else {}
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Which application runs, at what size.
+
+    ``kind`` is a key of :data:`repro.scenarios.build.WORKLOAD_FACTORIES`
+    (``"bt"``/``"cg"``/... for the NAS kernels, ``"netpipe"``, ``"ring"``,
+    ``"pipeline"``, ``"stencil1d"``, ``"stencil2d"``, ``"master-worker"``);
+    ``params`` holds the workload's own keyword arguments
+    (``message_scale``, ``sizes``, ``halo_bytes``, ...).
+    """
+
+    kind: str
+    nprocs: int
+    iterations: int = 1
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", _freeze_mapping(self.params))
+        if self.nprocs < 1:
+            raise ConfigurationError(f"workload {self.kind!r}: nprocs must be >= 1")
+
+
+@dataclass(frozen=True)
+class ClusteringSpec:
+    """How ranks are grouped into clusters for the clustered protocols.
+
+    ``method`` is one of
+
+    * ``"none"``      -- protocol default (single cluster / no clustering),
+    * ``"explicit"``  -- use :attr:`clusters` verbatim,
+    * ``"block"``     -- :func:`repro.clustering.partitioner.block_partition`,
+    * ``"partition"`` -- graph-partition the workload's analytic
+      communication matrix (``matrix="iteration"`` or ``"full"`` selects
+      :meth:`communication_matrix` vs :meth:`full_run_matrix`),
+    * ``"preset"``    -- the paper's Table I cluster count for the NAS
+      kernel, then graph partitioning.
+    """
+
+    method: str = "none"
+    num_clusters: Optional[int] = None
+    clusters: Optional[Tuple[Tuple[int, ...], ...]] = None
+    balance_tolerance: float = 1.1
+    matrix: str = "iteration"
+
+    _METHODS = ("none", "explicit", "block", "partition", "preset")
+
+    def __post_init__(self) -> None:
+        if self.method not in self._METHODS:
+            raise ConfigurationError(
+                f"unknown clustering method {self.method!r}; expected one of {self._METHODS}"
+            )
+        if self.clusters is not None:
+            object.__setattr__(
+                self, "clusters", tuple(tuple(int(r) for r in c) for c in self.clusters)
+            )
+        if self.method == "explicit" and self.clusters is None:
+            raise ConfigurationError("clustering method 'explicit' needs clusters")
+        if self.method in ("block", "partition") and self.num_clusters is None:
+            raise ConfigurationError(
+                f"clustering method {self.method!r} needs num_clusters"
+            )
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """Which fault-tolerance protocol runs, with which options.
+
+    ``name`` is a :func:`repro.ftprotocols.registry.make_protocol` name
+    (``"native"``, ``"hydee"``, ``"hydee-log-all"``, ``"coordinated"``,
+    ``"message-logging"``, ``"hybrid-event-logging"``) or ``"none"`` for a
+    bare run without any protocol hooks; ``options`` are forwarded to the
+    registry factory (``checkpoint_interval``, ``piggyback_bytes``, ...).
+    """
+
+    name: str = "none"
+    options: Dict[str, Any] = field(default_factory=dict)
+    clustering: ClusteringSpec = field(default_factory=ClusteringSpec)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "options", _freeze_mapping(self.options))
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Which analytic network model carries the messages.
+
+    ``model`` is a key of :data:`repro.scenarios.build.NETWORK_MODELS`;
+    ``overrides`` replaces individual model fields (``bandwidth_bytes_per_s``,
+    ``memcpy_overlap_fraction``, ...).
+    """
+
+    model: str = "myrinet-mx"
+    overrides: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "overrides", _freeze_mapping(self.overrides))
+
+
+@dataclass(frozen=True)
+class FailureSpec:
+    """One fail-stop failure event (mirrors
+    :class:`repro.simulator.failures.FailureEvent`)."""
+
+    ranks: Tuple[int, ...]
+    time: Optional[float] = None
+    at_iteration: Optional[int] = None
+    rank_trigger: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "ranks", tuple(int(r) for r in self.ranks))
+        if not self.ranks:
+            raise ConfigurationError("a failure spec needs at least one rank")
+        if (self.time is None) == (self.at_iteration is None):
+            raise ConfigurationError(
+                "specify exactly one of `time` or `at_iteration` for a failure spec"
+            )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete declarative simulation scenario.
+
+    ``config`` holds :class:`~repro.simulator.simulation.SimulationConfig`
+    overrides by field name; ``record_trace_events`` defaults to ``False``
+    (campaign sweeps skip per-event trace allocation) and must be set
+    explicitly by scenarios that compare send sequences.  ``tags`` is
+    free-form metadata carried verbatim into campaign records.
+    """
+
+    name: str
+    workload: WorkloadSpec
+    protocol: ProtocolSpec = field(default_factory=ProtocolSpec)
+    network: NetworkSpec = field(default_factory=NetworkSpec)
+    failures: Tuple[FailureSpec, ...] = ()
+    config: Dict[str, Any] = field(default_factory=dict)
+    tags: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "failures", tuple(self.failures))
+        object.__setattr__(self, "config", _freeze_mapping(self.config))
+        object.__setattr__(self, "tags", _freeze_mapping(self.tags))
+
+    # -------------------------------------------------------------- json i/o
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data representation (suitable for ``json.dump``)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        data = dict(data)
+        if "workload" not in data:
+            raise ConfigurationError(
+                "a scenario spec needs a 'workload' section "
+                f"(got keys: {sorted(data)})"
+            )
+        workload = WorkloadSpec(**data.pop("workload"))
+        protocol_data = dict(data.pop("protocol", {}) or {})
+        clustering_data = protocol_data.pop("clustering", None)
+        clustering = (
+            ClusteringSpec(**clustering_data) if clustering_data else ClusteringSpec()
+        )
+        protocol = ProtocolSpec(clustering=clustering, **protocol_data)
+        network_data = data.pop("network", None)
+        network = NetworkSpec(**network_data) if network_data else NetworkSpec()
+        failures = tuple(FailureSpec(**f) for f in data.pop("failures", ()) or ())
+        return cls(
+            workload=workload,
+            protocol=protocol,
+            network=network,
+            failures=failures,
+            **data,
+        )
+
+    def to_json(self, **dumps_kwargs: Any) -> str:
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+    # --------------------------------------------------------------- hashing
+    def canonical_json(self) -> str:
+        """Deterministic serialisation used as the cache identity."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def spec_hash(self) -> str:
+        """Content hash of the spec (cache key of campaign result stores)."""
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()[:16]
+
+    # ------------------------------------------------------------------ misc
+    def with_name(self, name: str) -> "ScenarioSpec":
+        return dataclasses.replace(self, name=name)
+
+    def describe(self) -> str:
+        parts = [
+            self.workload.kind,
+            f"np={self.workload.nprocs}",
+            f"it={self.workload.iterations}",
+            self.protocol.name,
+        ]
+        if self.failures:
+            parts.append(f"failures={len(self.failures)}")
+        return " ".join(parts)
+
+
+def load_specs(data: Any) -> Tuple[ScenarioSpec, ...]:
+    """Parse a JSON value (one spec dict or a list of them) into specs."""
+    if isinstance(data, Mapping):
+        return (ScenarioSpec.from_dict(data),)
+    if isinstance(data, Sequence) and not isinstance(data, (str, bytes)):
+        return tuple(ScenarioSpec.from_dict(item) for item in data)
+    raise ConfigurationError(
+        "expected a scenario spec object or a list of them, "
+        f"got {type(data).__name__}"
+    )

@@ -25,18 +25,22 @@ class _ScheduledEvent:
     callback: Callable[..., None] = field(compare=False)
     args: Tuple[Any, ...] = field(compare=False, default=())
     cancelled: bool = field(compare=False, default=False)
+    executed: bool = field(compare=False, default=False)
 
 
 class EventHandle:
     """Handle returned by :meth:`SimulationEngine.schedule`; allows cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_engine")
 
-    def __init__(self, event: _ScheduledEvent) -> None:
+    def __init__(self, event: _ScheduledEvent, engine: "SimulationEngine") -> None:
         self._event = event
+        self._engine = engine
 
     def cancel(self) -> None:
-        self._event.cancelled = True
+        if not self._event.cancelled and not self._event.executed:
+            self._event.cancelled = True
+            self._engine._note_cancelled()
 
     @property
     def time(self) -> float:
@@ -50,12 +54,20 @@ class EventHandle:
 class SimulationEngine:
     """Time-ordered event queue with deterministic tie-breaking."""
 
+    #: lazy heap compaction threshold: rebuild once at least this many
+    #: cancelled entries linger *and* they outnumber the live ones.
+    COMPACT_MIN_CANCELLED = 64
+
     def __init__(self) -> None:
         self._queue: List[_ScheduledEvent] = []
         self._seq = itertools.count()
         self._now: float = 0.0
         self._events_processed: int = 0
         self._running = False
+        #: scheduled events that are neither cancelled nor executed yet.
+        self._live: int = 0
+        #: cancelled events still sitting in the heap.
+        self._cancelled: int = 0
 
     # ------------------------------------------------------------------ time
     @property
@@ -69,7 +81,19 @@ class SimulationEngine:
 
     @property
     def pending_events(self) -> int:
-        return sum(1 for e in self._queue if not e.cancelled)
+        return self._live
+
+    def _note_cancelled(self) -> None:
+        self._live -= 1
+        self._cancelled += 1
+        if self._cancelled >= self.COMPACT_MIN_CANCELLED and self._cancelled > self._live:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (amortised O(n))."""
+        self._queue = [e for e in self._queue if not e.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled = 0
 
     # ------------------------------------------------------------ scheduling
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
@@ -86,7 +110,8 @@ class SimulationEngine:
             )
         event = _ScheduledEvent(time=time, seq=next(self._seq), callback=callback, args=args)
         heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        self._live += 1
+        return EventHandle(event, self)
 
     # --------------------------------------------------------------- running
     def step(self) -> bool:
@@ -94,7 +119,10 @@ class SimulationEngine:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._cancelled -= 1
                 continue
+            self._live -= 1
+            event.executed = True
             self._now = event.time
             self._events_processed += 1
             event.callback(*event.args)
@@ -135,6 +163,7 @@ class SimulationEngine:
     def _peek_time(self) -> Optional[float]:
         while self._queue and self._queue[0].cancelled:
             heapq.heappop(self._queue)
+            self._cancelled -= 1
         return self._queue[0].time if self._queue else None
 
 

@@ -68,6 +68,10 @@ class FailureInjector:
         self._sim: Optional["Simulation"] = None
         self.failed_ranks: Set[int] = set()
         self.failure_times: List[float] = []
+        #: iteration-triggered failures armed (scheduled) but not yet fired.
+        #: The simulation refuses to declare completion while this is non-zero
+        #: so a failure triggered by a rank's *last* iteration still strikes.
+        self.armed_fires: int = 0
 
     def add(self, event: FailureEvent) -> None:
         self.events.append(event)
@@ -92,10 +96,15 @@ class FailureInjector:
             ):
                 # Fire "now" (schedule with zero delay so the failing rank has
                 # fully returned from its iteration first).
-                self._sim.engine.schedule(0.0, self._fire, event)
+                self.armed_fires += 1
+                self._sim.engine.schedule(0.0, self._fire_armed, event)
                 event.fired = True
 
     # ------------------------------------------------------------------ firing
+    def _fire_armed(self, event: FailureEvent) -> None:
+        self.armed_fires -= 1
+        self._fire(event)
+
     def _fire(self, event: FailureEvent) -> None:
         if self._sim is None:
             return

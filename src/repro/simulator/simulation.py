@@ -312,6 +312,18 @@ class Simulation:
     def all_done(self) -> bool:
         return all(p.done for p in self.ranks.values())
 
+    def _should_stop(self) -> bool:
+        """Completion predicate for the engine loop.
+
+        An iteration-triggered failure armed by a rank's last iteration is
+        still in the queue when every rank reports done; the run must not be
+        declared complete before it strikes and recovery has played out.
+        """
+        if not self.all_done():
+            return False
+        injector = self.failure_injector
+        return injector is None or injector.armed_fires == 0
+
     def run(self) -> SimulationResult:
         self.protocol.on_simulation_start()
         for proc in self.ranks.values():
@@ -319,7 +331,7 @@ class Simulation:
         reason = self.engine.run(
             until_time=self.config.max_time,
             max_events=self.config.max_events,
-            stop_predicate=self.all_done,
+            stop_predicate=self._should_stop,
         )
         self.protocol.on_simulation_end()
 

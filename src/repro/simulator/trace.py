@@ -64,7 +64,16 @@ class SendSignature:
 
 
 class TraceRecorder:
-    """Accumulates communication records and per-channel volumes."""
+    """Accumulates communication records and per-channel volumes.
+
+    With ``record_events=False`` (large campaign sweeps) the recorder keeps
+    only the aggregate per-channel counters: neither
+    :class:`CommunicationRecord` nor :class:`SendSignature` objects are
+    constructed at all, so the per-message cost on the hot path is two dict
+    updates and no allocation.  Send-determinism comparisons
+    (:func:`compare_send_sequences`) need a recorder built with
+    ``record_events=True``.
+    """
 
     def __init__(self, record_events: bool = True) -> None:
         self.record_events = record_events
@@ -84,16 +93,15 @@ class TraceRecorder:
 
     # ------------------------------------------------------------------ hooks
     def record_send(self, message: Message, time: float, suppressed: bool = False) -> None:
-        key = (message.source, message.dest)
         if not suppressed:
-            entry = self.channel_volumes.setdefault(key, [0, 0])
+            entry = self.channel_volumes.setdefault((message.source, message.dest), [0, 0])
             entry[0] += 1
             entry[1] += message.size_bytes
-        if not message.replayed:
-            self.send_sequences.setdefault(message.source, []).append(
-                SendSignature.from_message(message)
-            )
         if self.record_events:
+            if not message.replayed:
+                self.send_sequences.setdefault(message.source, []).append(
+                    SendSignature.from_message(message)
+                )
             self.records.append(
                 CommunicationRecord(
                     event="suppressed_send" if suppressed else "send",
