@@ -1,0 +1,41 @@
+"""Benchmark of recovery under inter-cluster congestion (Experiment E7).
+
+The benchmarked unit is the full congested-recovery campaign: HydEE and
+coordinated checkpointing, each run failure-free and with one injected
+failure, over a hierarchical topology at two inter-cluster oversubscription
+factors.  The assertions check the containment claim that the experiment is
+designed to show: the recovery cost of coordinated checkpointing grows
+faster with oversubscription than HydEE's.
+"""
+
+from repro.analysis.congestion import (
+    recovery_divergence,
+    render_congestion,
+    run_congestion_experiment,
+)
+
+NPROCS = 16
+ITERATIONS = 6
+OVERSUBSCRIPTIONS = (1.0, 8.0)
+
+
+def _run_sweep():
+    return run_congestion_experiment(
+        nprocs=NPROCS,
+        iterations=ITERATIONS,
+        oversubscriptions=OVERSUBSCRIPTIONS,
+    )
+
+
+def test_congested_recovery_benchmark(benchmark):
+    rows = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    print()
+    print(render_congestion(rows))
+    divergence = recovery_divergence(rows)
+    # Containment pays off under congestion: coordinated checkpointing's
+    # recovery cost grows faster with oversubscription than HydEE's.
+    assert divergence["coordinated"] > divergence["hydee"]
+    by_key = {(r.protocol, r.oversubscription): r for r in rows}
+    for oversub in OVERSUBSCRIPTIONS:
+        assert by_key[("hydee", oversub)].ranks_rolled_back < \
+            by_key[("coordinated", oversub)].ranks_rolled_back

@@ -1,0 +1,105 @@
+"""Hot-path micro-benchmark: engine event and transport message throughput.
+
+Measures two rates on the slotted hot-path classes
+(:class:`~repro.simulator.engine._ScheduledEvent`,
+:class:`~repro.simulator.messages.Message`):
+
+* ``events_per_s``   -- schedule + execute empty engine events,
+* ``messages_per_s`` -- allocate, transmit and deliver transport messages.
+
+The results are written to ``BENCH_engine.json`` (in ``$REPRO_BENCH_DIR``
+or the current directory) so CI can archive the perf trajectory.  Runs
+either under pytest (``pytest benchmarks/bench_engine_hotpath.py -o
+python_files='bench_*.py' --benchmark-only``) or directly::
+
+    PYTHONPATH=src python benchmarks/bench_engine_hotpath.py
+"""
+
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.simulator.channel import Transport  # noqa: E402
+from repro.simulator.engine import SimulationEngine  # noqa: E402
+from repro.simulator.messages import Message  # noqa: E402
+from repro.simulator.network import MyrinetMXModel  # noqa: E402
+
+N_EVENTS = 200_000
+N_MESSAGES = 50_000
+
+
+def _noop() -> None:
+    pass
+
+
+def measure_event_throughput(n_events: int = N_EVENTS) -> float:
+    """Events per second: schedule ``n_events`` empty events and drain them."""
+    engine = SimulationEngine()
+    started = time.perf_counter()
+    schedule = engine.schedule
+    for i in range(n_events):
+        schedule(float(i) * 1e-9, _noop)
+    engine.run()
+    elapsed = time.perf_counter() - started
+    assert engine.events_processed == n_events
+    return n_events / elapsed
+
+
+def measure_message_throughput(n_messages: int = N_MESSAGES) -> float:
+    """Messages per second: allocate + transmit + deliver on one channel."""
+    engine = SimulationEngine()
+    delivered = []
+    transport = Transport(engine, MyrinetMXModel(), delivered.append)
+    started = time.perf_counter()
+    for i in range(n_messages):
+        transport.transmit(Message(source=0, dest=1, tag=i, size_bytes=64))
+    engine.run()
+    elapsed = time.perf_counter() - started
+    assert len(delivered) == n_messages
+    return n_messages / elapsed
+
+
+def bench_report() -> dict:
+    return {
+        "benchmark": "engine-hotpath",
+        "n_events": N_EVENTS,
+        "n_messages": N_MESSAGES,
+        "events_per_s": round(measure_event_throughput()),
+        "messages_per_s": round(measure_message_throughput()),
+    }
+
+
+def write_report(report: dict, filename: str = "BENCH_engine.json") -> str:
+    out_dir = os.environ.get("REPRO_BENCH_DIR", ".")
+    path = os.path.join(out_dir, filename)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+# ------------------------------------------------------------------- pytest
+def test_engine_hotpath_benchmark(benchmark):
+    report = benchmark.pedantic(bench_report, rounds=1, iterations=1)
+    path = write_report(report)
+    print()
+    print(f"{report['events_per_s']:>12,} events/s")
+    print(f"{report['messages_per_s']:>12,} messages/s")
+    print(f"wrote {path}")
+    assert report["events_per_s"] > 0
+    assert report["messages_per_s"] > 0
+
+
+def main() -> int:
+    report = bench_report()
+    path = write_report(report)
+    print(json.dumps(report, indent=1, sort_keys=True))
+    print(f"wrote {path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

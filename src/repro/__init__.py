@@ -56,10 +56,12 @@ from repro.scenarios import (
     NetworkSpec,
     ProtocolSpec,
     ScenarioSpec,
+    TopologySpec,
     WorkloadSpec,
     build_scenario,
     sweep,
 )
+from repro.topology import Link, Topology
 from repro.campaign import CampaignResult, ResultsStore, run_campaign
 
 __version__ = "1.0.0"
@@ -95,7 +97,10 @@ __all__ = [
     "ProtocolSpec",
     "ClusteringSpec",
     "NetworkSpec",
+    "TopologySpec",
     "FailureSpec",
+    "Topology",
+    "Link",
     "build_scenario",
     "sweep",
     "run_campaign",

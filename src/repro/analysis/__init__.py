@@ -23,6 +23,13 @@ from repro.analysis.containment import (
     render_containment,
     run_containment_experiment,
 )
+from repro.analysis.congestion import (
+    CongestionRow,
+    congestion_specs,
+    recovery_divergence,
+    render_congestion,
+    run_congestion_experiment,
+)
 from repro.analysis.reporting import format_dict_table, format_series, format_table, percent
 
 __all__ = [
@@ -44,6 +51,11 @@ __all__ = [
     "ContainmentRow",
     "run_containment_experiment",
     "render_containment",
+    "CongestionRow",
+    "congestion_specs",
+    "run_congestion_experiment",
+    "render_congestion",
+    "recovery_divergence",
     "format_table",
     "format_dict_table",
     "format_series",

@@ -1,0 +1,274 @@
+"""Congested-recovery experiment: recovery time vs inter-cluster bandwidth.
+
+The paper's containment argument is about *where* recovery traffic flows:
+under HydEE only the failed cluster's ranks replay, and the replayed
+messages are served from sender-based logs across inter-cluster links,
+while coordinated checkpointing re-executes *every* rank and pushes the
+whole communication volume through the fabric again.  On a flat network the
+two are indistinguishable time-wise; on a hierarchical topology with an
+oversubscribed inter-cluster fabric they diverge -- which is exactly what
+this harness quantifies.
+
+For each inter-cluster oversubscription factor and each protocol the
+harness runs a failure-free scenario and an identical scenario with one
+injected failure; *recovery seconds* is the makespan difference between the
+two (the price of the failure, congestion included).  Protocol clusters are
+aligned with the physical topology (``ClusteringSpec(method="topology")``)
+so HydEE's logged traffic is exactly the traffic crossing the
+oversubscribed links.
+
+Scenarios run through the campaign runner under the registered
+``congestion-recovery`` analysis job, which records a slim payload
+(makespans, rollback counts, per-tier link traffic) -- so sweeps cache,
+fan out over workers, and stay byte-identical between serial and parallel
+runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.reporting import format_dict_table
+from repro.campaign.runner import run_campaign
+from repro.campaign.store import ResultsStore
+from repro.errors import ConfigurationError
+from repro.scenarios.build import build
+from repro.scenarios.spec import (
+    ClusteringSpec,
+    FailureSpec,
+    NetworkSpec,
+    ProtocolSpec,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
+
+#: tier key reported by the contention model for the oversubscribed fabric.
+INTER_CLUSTER_TIER = "inter-cluster"
+
+
+# ----------------------------------------------------------------------- job
+def congestion_job(spec: ScenarioSpec) -> Tuple[Dict[str, Any], Any]:
+    """Campaign job: simulate and keep only the congestion-relevant metrics."""
+    from repro.campaign.jobs import jsonify
+
+    result = build(spec).run()
+    extra = result.stats.extra
+    tier_stats = extra.get("tier_stats", {})
+    payload = {
+        "status": result.status,
+        "makespan": result.makespan,
+        "recovery_time": result.stats.recovery_time,
+        "ranks_rolled_back": result.stats.ranks_rolled_back,
+        "replayed_messages": extra.get("pstats_replayed_messages", 0),
+        "contention_wait_s": extra.get("contention_wait_s", 0.0),
+        "inter_cluster": tier_stats.get(INTER_CLUSTER_TIER, {}),
+        "topology": extra.get("topology", {}),
+    }
+    return jsonify(payload), result
+
+
+# ---------------------------------------------------------------------- specs
+def congestion_specs(
+    nprocs: int = 16,
+    iterations: int = 6,
+    failed_rank: int = 5,
+    fail_at_iteration: int = 4,
+    checkpoint_interval: int = 2,
+    oversubscriptions: Sequence[float] = (1.0, 2.0, 4.0, 8.0),
+    protocols: Sequence[str] = ("hydee", "coordinated"),
+    workload_kind: str = "stencil2d",
+    topology_preset: str = "cluster-per-node",
+    ranks_per_node: int = 4,
+) -> List[ScenarioSpec]:
+    """Declare the (oversubscription x protocol x {free, failure}) grid."""
+    workload = WorkloadSpec(kind=workload_kind, nprocs=nprocs, iterations=iterations)
+    failure = FailureSpec(ranks=(failed_rank,), at_iteration=fail_at_iteration)
+    checkpoint_options = {
+        "checkpoint_interval": checkpoint_interval,
+        "checkpoint_size_bytes": 64 * 1024,
+    }
+
+    def protocol_spec(name: str) -> ProtocolSpec:
+        if name in ("coordinated", "native", "none"):
+            options = checkpoint_options if name == "coordinated" else {}
+            return ProtocolSpec(name=name, options=options)
+        # Clustered protocols align their clusters with the physical
+        # topology: logged inter-cluster traffic == oversubscribed traffic.
+        return ProtocolSpec(
+            name=name,
+            options=checkpoint_options,
+            clustering=ClusteringSpec(method="topology"),
+        )
+
+    specs: List[ScenarioSpec] = []
+    for oversub in oversubscriptions:
+        network = NetworkSpec(
+            topology=TopologySpec(
+                preset=topology_preset,
+                params={
+                    "ranks_per_node": ranks_per_node,
+                    "oversubscription": float(oversub),
+                },
+            )
+        )
+        for name in protocols:
+            for role, failures in (("failure-free", ()), ("failure", (failure,))):
+                specs.append(
+                    ScenarioSpec(
+                        name=f"congestion:{name}:o{oversub:g}:{role}",
+                        workload=workload,
+                        protocol=protocol_spec(name),
+                        network=network,
+                        failures=failures,
+                        tags={
+                            "experiment": "congestion-recovery",
+                            "analysis": "congestion-recovery",
+                            "protocol": name,
+                            "oversubscription": float(oversub),
+                            "role": role,
+                        },
+                    )
+                )
+    return specs
+
+
+# ----------------------------------------------------------------------- rows
+@dataclass
+class CongestionRow:
+    """Recovery cost of one protocol at one oversubscription factor."""
+
+    protocol: str
+    oversubscription: float
+    failure_free_makespan_s: float
+    failed_makespan_s: float
+    recovery_seconds: float
+    ranks_rolled_back: int
+    replayed_messages: int
+    inter_cluster_wait_s: float
+    inter_cluster_bytes: int
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "protocol": self.protocol,
+            "oversub": self.oversubscription,
+            "free_ms": round(self.failure_free_makespan_s * 1e3, 3),
+            "failed_ms": round(self.failed_makespan_s * 1e3, 3),
+            "recovery_ms": round(self.recovery_seconds * 1e3, 3),
+            "rolled_back": self.ranks_rolled_back,
+            "replayed": self.replayed_messages,
+            "inter_wait_ms": round(self.inter_cluster_wait_s * 1e3, 3),
+            "inter_MB": round(self.inter_cluster_bytes / 1e6, 2),
+        }
+
+
+def rows_from_campaign(outcome) -> List[CongestionRow]:
+    """Pair the failure-free / failure records back into rows."""
+    by_key: Dict[Tuple[str, float], Dict[str, Dict[str, Any]]] = {}
+    for spec, record in zip(outcome.specs, outcome.records):
+        key = (spec.tags["protocol"], float(spec.tags["oversubscription"]))
+        by_key.setdefault(key, {})[spec.tags["role"]] = record["result"]
+
+    rows: List[CongestionRow] = []
+    for (protocol, oversub), results in by_key.items():
+        if set(results) != {"failure-free", "failure"}:
+            raise ConfigurationError(
+                f"congestion campaign for {protocol} @ {oversub} is missing "
+                f"records (got roles: {sorted(results)})"
+            )
+        free, failed = results["failure-free"], results["failure"]
+        for role, result in (("failure-free", free), ("failure", failed)):
+            if result.get("status") != "completed":
+                # A truncated run (timeout/event-limit/deadlock with
+                # raise_on_incomplete disabled) would understate recovery
+                # time and silently flip the containment conclusion.
+                raise ConfigurationError(
+                    f"congestion run {protocol} @ oversubscription {oversub} "
+                    f"({role}) did not complete: status "
+                    f"{result.get('status')!r}"
+                )
+        inter = failed.get("inter_cluster", {}) or {}
+        rows.append(
+            CongestionRow(
+                protocol=protocol,
+                oversubscription=oversub,
+                failure_free_makespan_s=free["makespan"],
+                failed_makespan_s=failed["makespan"],
+                recovery_seconds=failed["makespan"] - free["makespan"],
+                ranks_rolled_back=failed["ranks_rolled_back"],
+                replayed_messages=failed["replayed_messages"],
+                inter_cluster_wait_s=inter.get("wait_s", 0.0),
+                inter_cluster_bytes=inter.get("bytes", 0),
+            )
+        )
+    rows.sort(key=lambda row: (row.protocol, row.oversubscription))
+    return rows
+
+
+def run_congestion_experiment(
+    nprocs: int = 16,
+    iterations: int = 6,
+    failed_rank: int = 5,
+    fail_at_iteration: int = 4,
+    checkpoint_interval: int = 2,
+    oversubscriptions: Sequence[float] = (1.0, 2.0, 4.0, 8.0),
+    protocols: Sequence[str] = ("hydee", "coordinated"),
+    workload_kind: str = "stencil2d",
+    topology_preset: str = "cluster-per-node",
+    ranks_per_node: int = 4,
+    workers: int = 1,
+    store: Optional[ResultsStore] = None,
+) -> List[CongestionRow]:
+    """Run the congested-recovery grid and return the paired rows."""
+    specs = congestion_specs(
+        nprocs=nprocs,
+        iterations=iterations,
+        failed_rank=failed_rank,
+        fail_at_iteration=fail_at_iteration,
+        checkpoint_interval=checkpoint_interval,
+        oversubscriptions=oversubscriptions,
+        protocols=protocols,
+        workload_kind=workload_kind,
+        topology_preset=topology_preset,
+        ranks_per_node=ranks_per_node,
+    )
+    outcome = run_campaign(specs, workers=workers, store=store)
+    return rows_from_campaign(outcome)
+
+
+# ------------------------------------------------------------------ reporting
+def recovery_divergence(rows: Sequence[CongestionRow]) -> Dict[str, float]:
+    """Per protocol: recovery time at max oversubscription / at minimum.
+
+    The paper's containment claim predicts this growth factor to be much
+    larger for coordinated checkpointing than for HydEE.
+    """
+    by_protocol: Dict[str, List[CongestionRow]] = {}
+    for row in rows:
+        by_protocol.setdefault(row.protocol, []).append(row)
+    divergence: Dict[str, float] = {}
+    for protocol, group in by_protocol.items():
+        group = sorted(group, key=lambda r: r.oversubscription)
+        baseline = group[0].recovery_seconds
+        worst = group[-1].recovery_seconds
+        divergence[protocol] = worst / baseline if baseline > 0 else float("inf")
+    return divergence
+
+
+def render_congestion(rows: Sequence[CongestionRow]) -> str:
+    return format_dict_table(
+        [row.as_dict() for row in rows],
+        columns=[
+            "protocol",
+            "oversub",
+            "free_ms",
+            "failed_ms",
+            "recovery_ms",
+            "rolled_back",
+            "replayed",
+            "inter_wait_ms",
+            "inter_MB",
+        ],
+        title="Congested recovery: one failure, inter-cluster oversubscription sweep",
+    )

@@ -67,6 +67,18 @@ class NetpipeResult:
         )
 
 
+def _normalise_sizes(sizes: Optional[Sequence[int]]) -> List[int]:
+    """Sorted, de-duplicated size sweep.
+
+    :func:`netpipe_sizes` emits ±3-byte perturbation probes around each
+    power of two above 16 B; normalising here keeps custom sweeps (which
+    may overlap those probes) well-formed for the per-size result lookup.
+    """
+    if sizes is None:
+        return list(netpipe_sizes())
+    return sorted({int(s) for s in sizes})
+
+
 def netpipe_specs(
     sizes: Optional[Sequence[int]] = None,
     network: Optional[NetworkModel] = None,
@@ -74,7 +86,7 @@ def netpipe_specs(
     piggyback_bytes: int = 12,
 ) -> List[ScenarioSpec]:
     """Declare the three Figure 5 configurations as scenario specs."""
-    sizes = list(sizes) if sizes is not None else list(netpipe_sizes())
+    sizes = _normalise_sizes(sizes)
     network_spec = to_network_spec(network)
     workload = WorkloadSpec(
         kind="netpipe", nprocs=2, iterations=1,
@@ -116,7 +128,7 @@ def run_netpipe_experiment(
     store: Optional[ResultsStore] = None,
 ) -> NetpipeResult:
     """Run the simulated Figure 5 experiment and return the three series."""
-    sizes = list(sizes) if sizes is not None else list(netpipe_sizes())
+    sizes = _normalise_sizes(sizes)
     specs = netpipe_specs(
         sizes=sizes, network=network, repeats=repeats, piggyback_bytes=piggyback_bytes
     )

@@ -40,6 +40,7 @@ ANALYSES: Dict[str, str] = {
     "table1-row": "repro.analysis.table1:table1_job",
     "cluster-sweep": "repro.analysis.table1:cluster_sweep_job",
     "piggyback-policy": "repro.analysis.perf_model:piggyback_policy_job",
+    "congestion-recovery": "repro.analysis.congestion:congestion_job",
 }
 
 

@@ -13,6 +13,11 @@ from repro.clustering.partitioner import (
     repartition_online,
     sweep_cluster_counts,
 )
+from repro.clustering.placement import (
+    aligned_clusters,
+    misaligned_clusters,
+    placement_alignment,
+)
 from repro.clustering.presets import (
     FIGURE6_PAPER_OVERHEAD,
     TABLE1_CLUSTER_COUNTS,
@@ -34,6 +39,9 @@ __all__ = [
     "choose_clustering",
     "sweep_cluster_counts",
     "repartition_online",
+    "aligned_clusters",
+    "misaligned_clusters",
+    "placement_alignment",
     "TABLE1_CLUSTER_COUNTS",
     "TABLE1_PAPER_VALUES",
     "FIGURE6_PAPER_OVERHEAD",

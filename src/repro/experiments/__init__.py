@@ -24,6 +24,7 @@ name.
 from repro.experiments import (  # noqa: F401  (re-exported for convenience)
     ablation_clusters,
     ablation_piggyback,
+    congestion_recovery,
     figure5,
     figure6,
     recovery_containment,
@@ -35,6 +36,7 @@ __all__ = [
     "figure5",
     "figure6",
     "recovery_containment",
+    "congestion_recovery",
     "ablation_piggyback",
     "ablation_clusters",
 ]

@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.experiments import (
     ablation_clusters,
     ablation_piggyback,
+    congestion_recovery,
     figure5,
     figure6,
     recovery_containment,
@@ -27,6 +28,7 @@ EXPERIMENTS: Dict[str, Callable[[Optional[Sequence[str]]], int]] = {
     "figure5": figure5.main,
     "figure6": figure6.main,
     "recovery-containment": recovery_containment.main,
+    "congestion-recovery": congestion_recovery.main,
     "ablation-piggyback": ablation_piggyback.main,
     "ablation-clusters": ablation_clusters.main,
 }

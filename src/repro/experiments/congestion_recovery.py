@@ -1,0 +1,103 @@
+"""Experiment E7: recovery time under inter-cluster congestion.
+
+Runs HydEE and coordinated checkpointing over a hierarchical topology
+(:class:`~repro.scenarios.spec.TopologySpec`) while sweeping the
+oversubscription of the inter-cluster fabric, and reports the recovery cost
+of one failure (makespan vs the failure-free run at the same
+oversubscription).  The containment claim of Sections III-IV predicts the
+two protocols diverge as the fabric gets thinner: coordinated
+checkpointing re-pushes the whole application's traffic through the
+congested links, HydEE replays only the failed cluster.
+
+Run it as ``repro-experiment congestion-recovery --workers N`` (or
+``python -m repro.experiments.congestion_recovery``).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from repro.analysis.congestion import (
+    CongestionRow,
+    recovery_divergence,
+    render_congestion,
+    run_congestion_experiment,
+)
+from repro.campaign.store import ResultsStore
+
+
+def run(
+    nprocs: int = 16,
+    iterations: int = 6,
+    failed_rank: int = 5,
+    fail_at_iteration: int = 4,
+    checkpoint_interval: int = 2,
+    oversubscriptions: Sequence[float] = (1.0, 2.0, 4.0, 8.0),
+    protocols: Sequence[str] = ("hydee", "coordinated"),
+    topology_preset: str = "cluster-per-node",
+    ranks_per_node: int = 4,
+    workers: int = 1,
+    store: Optional[ResultsStore] = None,
+) -> List[CongestionRow]:
+    return run_congestion_experiment(
+        nprocs=nprocs,
+        iterations=iterations,
+        failed_rank=failed_rank,
+        fail_at_iteration=fail_at_iteration,
+        checkpoint_interval=checkpoint_interval,
+        oversubscriptions=oversubscriptions,
+        protocols=protocols,
+        topology_preset=topology_preset,
+        ranks_per_node=ranks_per_node,
+        workers=workers,
+        store=store,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nprocs", type=int, default=16)
+    parser.add_argument("--iterations", type=int, default=6)
+    parser.add_argument("--fail-rank", type=int, default=5)
+    parser.add_argument("--fail-at-iteration", type=int, default=4)
+    parser.add_argument("--checkpoint-interval", type=int, default=2)
+    parser.add_argument("--oversubscription", type=float, nargs="+",
+                        default=[1.0, 2.0, 4.0, 8.0],
+                        help="inter-cluster oversubscription factors to sweep")
+    parser.add_argument("--protocols", nargs="+",
+                        default=["hydee", "coordinated"])
+    parser.add_argument("--topology", default="cluster-per-node",
+                        help="topology preset (cluster-per-node, fat-tree-2level)")
+    parser.add_argument("--ranks-per-node", type=int, default=4)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="campaign worker processes")
+    parser.add_argument("--store", default=None,
+                        help="JSON campaign results store (cache)")
+    args = parser.parse_args(argv)
+
+    store = ResultsStore(args.store) if args.store else None
+    rows = run(
+        nprocs=args.nprocs,
+        iterations=args.iterations,
+        failed_rank=args.fail_rank,
+        fail_at_iteration=args.fail_at_iteration,
+        checkpoint_interval=args.checkpoint_interval,
+        oversubscriptions=args.oversubscription,
+        protocols=args.protocols,
+        topology_preset=args.topology,
+        ranks_per_node=args.ranks_per_node,
+        workers=args.workers,
+        store=store,
+    )
+    print(render_congestion(rows))
+    print()
+    for protocol, factor in sorted(recovery_divergence(rows).items()):
+        print(f"recovery growth ({protocol}): x{factor:.2f} "
+              f"from oversubscription {min(args.oversubscription):g} "
+              f"to {max(args.oversubscription):g}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

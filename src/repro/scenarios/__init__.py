@@ -21,6 +21,7 @@ from repro.scenarios.spec import (
     NetworkSpec,
     ProtocolSpec,
     ScenarioSpec,
+    TopologySpec,
     WorkloadSpec,
     load_specs,
 )
@@ -35,6 +36,7 @@ from repro.scenarios.build import (
     build_failures,
     build_network,
     build_protocol,
+    build_topology,
     resolve_clusters,
     to_network_spec,
 )
@@ -50,9 +52,11 @@ __all__ = [
     "ProtocolSpec",
     "ClusteringSpec",
     "NetworkSpec",
+    "TopologySpec",
     "FailureSpec",
     "load_specs",
     "build",
+    "build_topology",
     "build_application",
     "build_protocol",
     "build_network",

@@ -17,14 +17,27 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.clustering.comm_graph import CommunicationGraph
 from repro.clustering.partitioner import block_partition, partition
+from repro.clustering.placement import aligned_clusters, misaligned_clusters
 from repro.clustering.presets import TABLE1_CLUSTER_COUNTS
 from repro.errors import ConfigurationError
 from repro.ftprotocols.registry import make_protocol
-from repro.scenarios.spec import ClusteringSpec, ScenarioSpec, WorkloadSpec
+from repro.scenarios.spec import (
+    ClusteringSpec,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
 from repro.simulator.failures import FailureEvent, FailureInjector
-from repro.simulator.network import EthernetTCPModel, MyrinetMXModel, NetworkModel
+from repro.simulator.network import (
+    EthernetTCPModel,
+    MyrinetMXModel,
+    NetworkModel,
+    RoutedNetworkModel,
+)
 from repro.simulator.protocol_api import ProtocolHooks
 from repro.simulator.simulation import Simulation, SimulationConfig
+from repro.topology import Topology
+from repro.topology import build_topology as _build_topology_preset
 from repro.workloads import (
     MasterWorkerApplication,
     PingPongApplication,
@@ -107,6 +120,13 @@ def to_network_spec(model: Optional[NetworkModel]):
     )
 
 
+def build_topology(topology: Optional[TopologySpec], nprocs: int) -> Optional[Topology]:
+    """Materialise a :class:`TopologySpec` for ``nprocs`` ranks (None -> None)."""
+    if topology is None:
+        return None
+    return _build_topology_preset(topology.preset, nprocs, **topology.params)
+
+
 def build_network(spec: ScenarioSpec) -> NetworkModel:
     try:
         model_cls = NETWORK_MODELS[spec.network.model]
@@ -115,19 +135,46 @@ def build_network(spec: ScenarioSpec) -> NetworkModel:
             f"unknown network model {spec.network.model!r}; available: "
             f"{', '.join(available_networks())}"
         ) from None
-    return model_cls(**spec.network.overrides)
+    model = model_cls(**spec.network.overrides)
+    topology = build_topology(spec.network.topology, spec.workload.nprocs)
+    if topology is None:
+        return model
+    return RoutedNetworkModel(model, topology)
 
 
 def resolve_clusters(
-    clustering: ClusteringSpec, workload: WorkloadSpec
+    clustering: ClusteringSpec,
+    workload: WorkloadSpec,
+    topology: Optional[TopologySpec] = None,
 ) -> Optional[List[List[int]]]:
-    """Materialise the cluster partition a clustering spec describes."""
+    """Materialise the cluster partition a clustering spec describes.
+
+    The ``topology*`` methods place protocol clusters relative to the
+    scenario's physical topology and require a non-flat one; ``topology``
+    is the scenario's ``network.topology`` spec, or an already-built
+    :class:`~repro.topology.topology.Topology` to reuse.
+    """
     if clustering.method == "none":
         return None
     if clustering.method == "explicit":
         return [list(c) for c in clustering.clusters]
     if clustering.method == "block":
         return block_partition(workload.nprocs, clustering.num_clusters)
+    if clustering.method.startswith("topology"):
+        if isinstance(topology, Topology):
+            topo = topology
+        else:
+            topo = build_topology(topology, workload.nprocs)
+        if topo is None or not topo.has_shared_links:
+            raise ConfigurationError(
+                f"clustering method {clustering.method!r} needs a non-flat "
+                "network.topology in the scenario spec"
+            )
+        if clustering.method in ("topology", "topology-cluster"):
+            return aligned_clusters(topo, granularity="cluster")
+        if clustering.method == "topology-node":
+            return aligned_clusters(topo, granularity="node")
+        return misaligned_clusters(topo, clustering.num_clusters)
     # Graph-partitioning methods need the workload's analytic matrix.
     app = build_application(workload)
     if clustering.matrix == "full":
@@ -152,13 +199,23 @@ def resolve_clusters(
     ).clusters
 
 
-def build_protocol(spec: ScenarioSpec) -> Optional[ProtocolHooks]:
-    """Instantiate the protocol described by ``spec`` (None for a bare run)."""
+def build_protocol(
+    spec: ScenarioSpec, topology: Optional[Topology] = None
+) -> Optional[ProtocolHooks]:
+    """Instantiate the protocol described by ``spec`` (None for a bare run).
+
+    ``topology`` optionally passes an already-built physical topology so
+    topology-aware clustering reuses it instead of rebuilding from the spec.
+    """
     name = spec.protocol.name
     if name in BARE_PROTOCOLS:
         return None
     options = dict(spec.protocol.options)
-    clusters = resolve_clusters(spec.protocol.clustering, spec.workload)
+    clusters = resolve_clusters(
+        spec.protocol.clustering,
+        spec.workload,
+        topology=topology if topology is not None else spec.network.topology,
+    )
     if clusters is not None:
         options["clusters"] = clusters
     return make_protocol(name, **options)
@@ -197,10 +254,13 @@ def build_config(spec: ScenarioSpec) -> SimulationConfig:
 
 def build(spec: ScenarioSpec) -> Simulation:
     """Wire a :class:`Simulation` exactly as the spec declares it."""
+    config = build_config(spec)
+    network = config.network
+    topology = network.topology if isinstance(network, RoutedNetworkModel) else None
     return Simulation(
         build_application(spec.workload),
         nprocs=spec.workload.nprocs,
-        protocol=build_protocol(spec),
+        protocol=build_protocol(spec, topology=topology),
         failures=build_failures(spec),
-        config=build_config(spec),
+        config=config,
     )

@@ -67,6 +67,19 @@ class ClusteringSpec:
       :meth:`communication_matrix` vs :meth:`full_run_matrix`),
     * ``"preset"``    -- the paper's Table I cluster count for the NAS
       kernel, then graph partitioning.
+
+    The ``topology*`` methods place protocol clusters relative to the
+    scenario's physical :class:`TopologySpec` (they require a non-flat
+    ``network.topology``):
+
+    * ``"topology"`` / ``"topology-cluster"`` -- one protocol cluster per
+      physical cluster (aligned placement: inter-cluster logging traffic is
+      exactly the traffic crossing the oversubscribed fabric),
+    * ``"topology-node"``       -- one protocol cluster per physical node,
+    * ``"topology-misaligned"`` -- deal ranks round-robin across
+      ``num_clusters`` (default: the physical cluster count) so every
+      protocol cluster straddles every physical cluster (the adversarial
+      placement).
     """
 
     method: str = "none"
@@ -75,7 +88,10 @@ class ClusteringSpec:
     balance_tolerance: float = 1.1
     matrix: str = "iteration"
 
-    _METHODS = ("none", "explicit", "block", "partition", "preset")
+    _METHODS = (
+        "none", "explicit", "block", "partition", "preset",
+        "topology", "topology-cluster", "topology-node", "topology-misaligned",
+    )
 
     def __post_init__(self) -> None:
         if self.method not in self._METHODS:
@@ -114,19 +130,55 @@ class ProtocolSpec:
 
 
 @dataclass(frozen=True)
+class TopologySpec:
+    """Which physical interconnect topology carries the messages.
+
+    ``preset`` is a key of :data:`repro.topology.TOPOLOGY_PRESETS`
+    (``"flat"``, ``"hierarchical"``, ``"fat-tree-2level"``,
+    ``"cluster-per-node"``); ``params`` holds the preset's keyword arguments
+    (``ranks_per_node``, ``nodes_per_cluster``, ``oversubscription``,
+    per-tier latencies/bandwidths).  Every parameter is sweepable like any
+    other spec path, e.g. ``network.topology.params.oversubscription``.
+
+    The ``"flat"`` preset is the degenerate single-tier topology: routing
+    over it reproduces the flat point-to-point model exactly.
+    """
+
+    preset: str = "flat"
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", _freeze_mapping(self.params))
+        from repro.topology import available_presets
+
+        if self.preset not in available_presets():
+            raise ConfigurationError(
+                f"unknown topology preset {self.preset!r}; available: "
+                f"{', '.join(available_presets())}"
+            )
+
+
+@dataclass(frozen=True)
 class NetworkSpec:
     """Which analytic network model carries the messages.
 
     ``model`` is a key of :data:`repro.scenarios.build.NETWORK_MODELS`;
     ``overrides`` replaces individual model fields (``bandwidth_bytes_per_s``,
-    ``memcpy_overlap_fraction``, ...).
+    ``memcpy_overlap_fraction``, ...).  ``topology`` (optional) routes every
+    message over a hierarchical :class:`TopologySpec` with deterministic
+    link contention; ``None`` keeps the flat point-to-point behaviour and is
+    omitted from the serialised form, so pre-topology spec hashes are
+    unchanged.
     """
 
     model: str = "myrinet-mx"
     overrides: Dict[str, Any] = field(default_factory=dict)
+    topology: Optional[TopologySpec] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "overrides", _freeze_mapping(self.overrides))
+        if isinstance(self.topology, Mapping):
+            object.__setattr__(self, "topology", TopologySpec(**self.topology))
 
 
 @dataclass(frozen=True)
@@ -176,7 +228,12 @@ class ScenarioSpec:
     # -------------------------------------------------------------- json i/o
     def to_dict(self) -> Dict[str, Any]:
         """Plain-data representation (suitable for ``json.dump``)."""
-        return dataclasses.asdict(self)
+        data = dataclasses.asdict(self)
+        # Specs without a topology serialise exactly as before the topology
+        # layer existed, keeping their spec hashes (= cache keys) stable.
+        if data["network"].get("topology") is None:
+            del data["network"]["topology"]
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":

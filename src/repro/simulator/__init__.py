@@ -26,6 +26,7 @@ from repro.simulator.network import (
     MyrinetMXModel,
     EthernetTCPModel,
     PiggybackPolicy,
+    RoutedNetworkModel,
 )
 from repro.simulator.requests import Request, RequestState
 from repro.simulator.process import RankProcess, RankState
@@ -45,6 +46,7 @@ __all__ = [
     "MyrinetMXModel",
     "EthernetTCPModel",
     "PiggybackPolicy",
+    "RoutedNetworkModel",
     "Request",
     "RequestState",
     "RankProcess",

@@ -12,20 +12,36 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
 
-@dataclass(order=True)
 class _ScheduledEvent:
-    time: float
-    seq: int
-    callback: Callable[..., None] = field(compare=False)
-    args: Tuple[Any, ...] = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
-    executed: bool = field(compare=False, default=False)
+    """One heap entry; slotted (not a dataclass) -- this is the hottest
+    allocation in the simulator, one instance per scheduled event."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "executed")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: Tuple[Any, ...] = (),
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.executed = False
+
+    def __lt__(self, other: "_ScheduledEvent") -> bool:
+        # Heap order: time, then insertion sequence (deterministic ties).
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
 
 class EventHandle:

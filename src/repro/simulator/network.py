@@ -25,7 +25,7 @@ from __future__ import annotations
 import bisect
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -196,6 +196,90 @@ class EthernetTCPModel(NetworkModel):
     eager_threshold_bytes: int = 64 * 1024
 
 
+class RoutedNetworkModel:
+    """Topology-aware facade over a flat :class:`NetworkModel`.
+
+    Endpoint costs (latency plateaus, overheads, rendezvous, piggyback,
+    logging memcpy) come from the wrapped flat model; the transfer itself is
+    routed over the :class:`~repro.topology.topology.Topology` and
+    serialized on shared links by a deterministic
+    :class:`~repro.topology.contention.ContentionModel`.
+
+    The degenerate flat topology has no links, so ``routed_arrival`` reduces
+    to ``start + base.transfer_time(wire)`` -- byte-identical to running the
+    flat model directly.  Every other :class:`NetworkModel` attribute and
+    method is delegated to the wrapped model, so protocols and processes use
+    a routed model transparently.
+
+    Contention state (per-link busy-until) is per simulation run; the
+    transport calls :meth:`reset` when it attaches.
+    """
+
+    def __init__(self, base: NetworkModel, topology) -> None:
+        from repro.topology import ContentionModel, Topology
+
+        if not isinstance(base, NetworkModel):
+            raise ConfigurationError(
+                f"RoutedNetworkModel wraps a flat NetworkModel, got {type(base).__name__}"
+            )
+        if not isinstance(topology, Topology):
+            raise ConfigurationError(
+                f"RoutedNetworkModel needs a Topology, got {type(topology).__name__}"
+            )
+        self.base = base
+        self.topology = topology
+        self.contention = ContentionModel()
+
+    def __getattr__(self, name: str):
+        # Fallback delegation: everything the flat model exposes
+        # (transfer_time, latency, piggyback_cost, send_overhead_s, ...).
+        return getattr(self.base, name)
+
+    def reset(self) -> None:
+        """Clear the model's own contention state (standalone use only;
+        transports carry their private per-run :class:`ContentionModel`)."""
+        self.contention.reset()
+
+    def routed_arrival(
+        self,
+        source: int,
+        dest: int,
+        wire_bytes: int,
+        start: float,
+        contention=None,
+    ) -> Tuple[float, float]:
+        """Arrival time of a message injected at ``start``.
+
+        Returns ``(arrival_time, contention_wait)``.  The endpoint software
+        latency (and rendezvous handshake, if any) is charged before the
+        message occupies its first link, mirroring the flat model's
+        ``transfer_time`` decomposition.
+
+        ``contention`` selects whose busy-until state the reservation lands
+        in; the transport passes its own per-run model so that one
+        ``RoutedNetworkModel`` instance can safely back several simulations.
+        Standalone callers may omit it and use the model's own state.
+        """
+        path = self.topology.route(source, dest)
+        if not path:
+            return start + self.base.transfer_time(wire_bytes), 0.0
+        inject = start + self.base.latency(wire_bytes)
+        if wire_bytes > self.base.eager_threshold_bytes:
+            inject += self.base.rendezvous_extra_rtts * 2.0 * self.base.min_latency()
+        if contention is None:
+            contention = self.contention
+        return contention.reserve(path, wire_bytes, inject)
+
+    def link_stats(self, makespan: Optional[float] = None):
+        return self.contention.link_stats(makespan=makespan)
+
+    def tier_stats(self):
+        return self.contention.tier_stats()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"RoutedNetworkModel({type(self.base).__name__}, {self.topology!r})"
+
+
 def pingpong_half_round_trip(model: NetworkModel, wire_bytes: int) -> float:
     """Half round-trip time of a ping-pong with ``wire_bytes`` messages.
 
@@ -208,14 +292,21 @@ def pingpong_half_round_trip(model: NetworkModel, wire_bytes: int) -> float:
     return one_way
 
 
-def netpipe_sizes(max_bytes: int = 8 * 1024 * 1024) -> Sequence[int]:
-    """Message sizes swept by the NetPIPE-style experiments (1 B .. 8 MiB)."""
-    sizes = []
+def netpipe_sizes(max_bytes: int = 8 * 1024 * 1024, perturbation: int = 3) -> Sequence[int]:
+    """Message sizes swept by the NetPIPE-style experiments (1 B .. 8 MiB).
+
+    Powers of two up to ``max_bytes``; above 16 B each power of two also
+    gets ``size - perturbation`` and ``size + perturbation`` probe points
+    (NetPIPE's trick for catching latency-plateau edges that sit just off
+    the power-of-two sizes).
+    """
+    sizes = set()
     size = 1
     while size <= max_bytes:
-        sizes.append(size)
-        if size < 16:
-            size *= 2
-        else:
-            size *= 2
-    return sizes
+        sizes.add(size)
+        if size > 16 and perturbation > 0:
+            for probe in (size - perturbation, size + perturbation):
+                if 1 <= probe <= max_bytes:
+                    sizes.add(probe)
+        size *= 2
+    return sorted(sizes)

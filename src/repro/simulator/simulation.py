@@ -373,6 +373,16 @@ class Simulation:
         self.stats.control_bytes = self.control.bytes_sent
         self.stats.checkpoints_taken = self.storage.writes
         self.stats.checkpoint_bytes = self.storage.bytes_written
+        topology = self.transport.topology
+        if topology is not None and topology.has_shared_links:
+            # Only contended topologies publish link stats: a flat (or absent)
+            # topology must keep records byte-identical to pre-topology runs.
+            self.stats.extra["topology"] = topology.describe()
+            self.stats.extra["link_stats"] = self.transport.link_stats(
+                makespan=self.stats.makespan
+            )
+            self.stats.extra["tier_stats"] = self.transport.tier_stats()
+            self.stats.extra["contention_wait_s"] = self.transport.contention_wait_s
         self.stats.extra.update(self.protocol.describe())
 
     def _deadlock_report(self) -> str:

@@ -1,0 +1,41 @@
+"""Topology-aware network substrate: rank placement, link tiers, contention.
+
+:class:`Topology` describes the physical hierarchy (ranks on nodes, nodes
+in clusters, per-link latency/bandwidth/oversubscription);
+:class:`ContentionModel` serializes concurrent transfers on shared links
+deterministically.  :class:`repro.simulator.network.RoutedNetworkModel`
+combines both with a flat endpoint model, and
+:class:`repro.scenarios.spec.TopologySpec` makes topologies declarative and
+sweepable.
+"""
+
+from repro.topology.contention import ContentionModel, LinkUsage
+from repro.topology.topology import (
+    LINK_TIERS,
+    TIER_INTER_CLUSTER,
+    TIER_INTRA_CLUSTER,
+    TIER_NODE_LOCAL,
+    TOPOLOGY_PRESETS,
+    Link,
+    Topology,
+    available_presets,
+    build_topology,
+    flat_topology,
+    hierarchical_topology,
+)
+
+__all__ = [
+    "Link",
+    "Topology",
+    "ContentionModel",
+    "LinkUsage",
+    "LINK_TIERS",
+    "TIER_NODE_LOCAL",
+    "TIER_INTRA_CLUSTER",
+    "TIER_INTER_CLUSTER",
+    "TOPOLOGY_PRESETS",
+    "available_presets",
+    "build_topology",
+    "flat_topology",
+    "hierarchical_topology",
+]

@@ -1,0 +1,115 @@
+"""Deterministic per-link bandwidth sharing (FIFO busy-until tracking).
+
+Each shared link serializes the transfers that cross it: a message reserves
+every link of its path in order, waiting for the link's previous transfer
+to finish before occupying it for ``wire_bytes / effective_bandwidth``
+seconds.  Reservations are made at *send* time in engine callback order, so
+ties are broken by the engine's deterministic event sequence -- two runs
+with identical inputs reserve identical windows, and serial vs N-worker
+campaigns (one simulation per process) stay byte-identical.
+
+The model is intentionally simple: store-and-forward per link, no packet
+interleaving.  It is not a cycle-accurate fabric model -- the goal is a
+deterministic, monotone congestion signal (heavier shared-link traffic =>
+later arrivals) that makes inter- vs intra-cluster locality visible to the
+experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.topology.topology import Link
+
+
+@dataclass
+class LinkUsage:
+    """Accumulated traffic counters for one link."""
+
+    tier: str
+    messages: int = 0
+    bytes: int = 0
+    busy_s: float = 0.0
+    wait_s: float = 0.0
+
+
+class ContentionModel:
+    """Per-link busy-until tracking with FIFO serialization.
+
+    State is per simulation run: the transport resets the model when it
+    attaches, so reusing a network model across simulations starts clean.
+    """
+
+    def __init__(self) -> None:
+        self._busy_until: Dict[str, float] = {}
+        self._usage: Dict[str, LinkUsage] = {}
+        #: total time messages spent queued behind busy links.
+        self.total_wait_s: float = 0.0
+
+    def reset(self) -> None:
+        self._busy_until.clear()
+        self._usage.clear()
+        self.total_wait_s = 0.0
+
+    def reserve(
+        self, path: Sequence[Link], wire_bytes: int, start: float
+    ) -> Tuple[float, float]:
+        """Walk ``path`` from ``start``; returns ``(finish_time, wait_time)``.
+
+        Each link is held for its serialization time once the previous
+        transfer on it completes (FIFO per link); the link's propagation
+        latency is added after the transfer.  ``wait_time`` is the summed
+        queueing delay behind busy links (the congestion signal).
+        """
+        t = start
+        waited = 0.0
+        for link in path:
+            busy = self._busy_until.get(link.name, 0.0)
+            begin = busy if busy > t else t
+            wait = begin - t
+            serialization = wire_bytes / link.effective_bandwidth_bytes_per_s
+            self._busy_until[link.name] = begin + serialization
+            usage = self._usage.get(link.name)
+            if usage is None:
+                usage = self._usage[link.name] = LinkUsage(tier=link.tier)
+            usage.messages += 1
+            usage.bytes += wire_bytes
+            usage.busy_s += serialization
+            usage.wait_s += wait
+            waited += wait
+            t = begin + serialization + link.latency_s
+        self.total_wait_s += waited
+        return t, waited
+
+    # ------------------------------------------------------------- reporting
+    def link_stats(self, makespan: Optional[float] = None) -> Dict[str, Dict[str, Any]]:
+        """Per-link counters (plus utilization when ``makespan`` is given),
+        keyed by link name in sorted order for deterministic records."""
+        stats: Dict[str, Dict[str, Any]] = {}
+        for name in sorted(self._usage):
+            usage = self._usage[name]
+            entry: Dict[str, Any] = {
+                "tier": usage.tier,
+                "messages": usage.messages,
+                "bytes": usage.bytes,
+                "busy_s": usage.busy_s,
+                "wait_s": usage.wait_s,
+            }
+            if makespan is not None and makespan > 0:
+                entry["utilization"] = usage.busy_s / makespan
+            stats[name] = entry
+        return stats
+
+    def tier_stats(self) -> Dict[str, Dict[str, Any]]:
+        """Counters aggregated by link tier (node-local / intra / inter)."""
+        tiers: Dict[str, Dict[str, Any]] = {}
+        for usage in self._usage.values():
+            entry = tiers.setdefault(
+                usage.tier, {"messages": 0, "bytes": 0, "busy_s": 0.0, "wait_s": 0.0}
+            )
+            entry["messages"] += usage.messages
+            entry["bytes"] += usage.bytes
+            entry["busy_s"] += usage.busy_s
+            entry["wait_s"] += usage.wait_s
+        return {tier: tiers[tier] for tier in sorted(tiers)}

@@ -260,3 +260,57 @@ class TestCollectives:
 
         with pytest.raises(InvalidOperationError):
             run_script(2, body)
+
+
+class TestTransportFifoClamp:
+    """FIFO non-overtaking must survive float precision at large times."""
+
+    def _transport(self):
+        from repro.simulator.channel import Transport
+        from repro.simulator.engine import SimulationEngine
+        from repro.simulator.messages import Message
+        from repro.simulator.network import MyrinetMXModel
+
+        engine = SimulationEngine()
+        delivered = []
+        transport = Transport(engine, MyrinetMXModel(), delivered.append)
+        return engine, transport, delivered, Message
+
+    def test_fifo_clamp_not_absorbed_at_large_simulation_time(self):
+        import math
+
+        engine, transport, delivered, Message = self._transport()
+        arrivals = []
+
+        def send_pair():
+            # A large message followed by a small one on the same channel:
+            # the small one would overtake and must be clamped.
+            arrivals.append(
+                transport.transmit(Message(source=0, dest=1, tag=0, size_bytes=1 << 20))
+            )
+            arrivals.append(
+                transport.transmit(Message(source=0, dest=1, tag=1, size_bytes=1))
+            )
+
+        # At t=1e5 s the old `previous + 1e-12` clamp was absorbed by float
+        # precision (ulp(1e5) ~ 1.5e-11), silently breaking strict ordering.
+        engine.schedule(1.0e5, send_pair)
+        engine.run()
+        assert arrivals[1] > arrivals[0]
+        assert arrivals[1] == math.nextafter(arrivals[0], math.inf)
+        assert [m.tag for m in delivered] == [0, 1]
+
+    def test_fifo_order_preserved_for_many_ties(self):
+        engine, transport, delivered, Message = self._transport()
+        arrivals = []
+
+        def send_burst():
+            for i in range(100):
+                arrivals.append(
+                    transport.transmit(Message(source=0, dest=1, tag=i, size_bytes=8))
+                )
+
+        engine.schedule(7.0e4, send_burst)
+        engine.run()
+        assert [m.tag for m in delivered] == list(range(100))
+        assert all(b > a for a, b in zip(arrivals, arrivals[1:]))

@@ -107,6 +107,79 @@ class TestScheduling:
         assert engine.events_processed == 2
 
 
+class TestHeapCompaction:
+    """Lazy compaction of cancelled heap entries."""
+
+    def test_cancel_heavy_schedule_triggers_compaction(self):
+        engine = SimulationEngine()
+        total = 4 * SimulationEngine.COMPACT_MIN_CANCELLED
+        handles = [engine.schedule(float(i + 1), lambda: None) for i in range(total)]
+        survivors = total // 4
+        for handle in handles[survivors:]:
+            handle.cancel()
+        # Far more cancellations than live events: the heap must have been
+        # rebuilt at least once, dropping the cancelled entries.
+        assert engine.pending_events == survivors
+        assert len(engine._queue) < total
+        assert engine._cancelled < total - survivors
+
+    def test_cancel_heavy_schedule_still_runs_survivors_in_order(self):
+        engine = SimulationEngine()
+        total = 3 * SimulationEngine.COMPACT_MIN_CANCELLED
+        order = []
+        handles = [
+            engine.schedule(float(i + 1), order.append, i) for i in range(total)
+        ]
+        # Cancel everything except every third event, in scattered order.
+        for i, handle in enumerate(handles):
+            if i % 3 != 0:
+                handle.cancel()
+        assert engine.run() == "empty"
+        assert order == list(range(0, total, 3))
+        assert engine.pending_events == 0
+
+    def test_run_until_time_with_cancelled_head_events(self):
+        engine = SimulationEngine()
+        order = []
+        early = [engine.schedule(float(i + 1), order.append, i) for i in range(3)]
+        engine.schedule(10.0, order.append, "late")
+        for handle in early:
+            handle.cancel()
+        # The cancelled events head the heap; run must skip them without
+        # executing anything and stop at the time bound.
+        reason = engine.run(until_time=5.0)
+        assert reason == "until_time"
+        assert order == []
+        assert engine.now == 5.0
+        assert engine.pending_events == 1
+        assert engine.run() == "empty"
+        assert order == ["late"]
+
+    def test_pending_events_consistent_after_peek_pops(self):
+        engine = SimulationEngine()
+        handles = [engine.schedule(float(i + 1), lambda: None) for i in range(5)]
+        handles[0].cancel()
+        handles[1].cancel()
+        # until_time before the first live event: _peek_time pops the two
+        # cancelled heads but executes nothing.
+        assert engine.run(until_time=0.5) == "until_time"
+        assert engine.pending_events == 3
+        assert len(engine._queue) == 3
+        assert engine._cancelled == 0
+        assert engine.run() == "empty"
+        assert engine.pending_events == 0
+        assert engine.events_processed == 3
+
+    def test_cancelling_an_executed_event_is_a_noop(self):
+        engine = SimulationEngine()
+        handle = engine.schedule(1.0, lambda: None)
+        engine.run()
+        live_before = engine.pending_events
+        handle.cancel()
+        assert not handle.cancelled
+        assert engine.pending_events == live_before
+
+
 class TestCondition:
     def test_waiter_called_on_fire_with_value(self):
         condition = Condition("test")

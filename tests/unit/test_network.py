@@ -115,6 +115,23 @@ class TestHelpers:
         assert sizes == sorted(sizes)
         assert len(set(sizes)) == len(sizes)
 
+    def test_netpipe_sizes_perturb_above_16_bytes(self):
+        sizes = netpipe_sizes(1024)
+        # Powers of two up to 16 B are probed exactly; above 16 B each power
+        # of two gets +/-3-byte probe points (the NetPIPE plateau-edge trick).
+        assert [s for s in sizes if s <= 16] == [1, 2, 4, 8, 16]
+        for power in (32, 64, 128, 256, 512, 1024):
+            assert power in sizes
+            assert power - 3 in sizes
+        assert 1024 + 3 not in sizes  # beyond max_bytes
+        assert 512 + 3 in sizes
+
+    def test_netpipe_sizes_perturbation_configurable(self):
+        plain = netpipe_sizes(256, perturbation=0)
+        assert plain == [1, 2, 4, 8, 16, 32, 64, 128, 256]
+        wide = netpipe_sizes(256, perturbation=5)
+        assert 27 in wide and 37 in wide
+
     def test_ethernet_model_is_slower_than_myrinet(self):
         myrinet = MyrinetMXModel()
         ethernet = EthernetTCPModel()

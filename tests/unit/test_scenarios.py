@@ -277,3 +277,113 @@ class TestBuild:
         assert result.completed
         assert result.stats.failures_injected == 1
         assert result.stats.ranks_rolled_back > 0
+
+
+class TestTopologySpec:
+    def _topo_spec(self) -> ScenarioSpec:
+        from repro.scenarios import TopologySpec
+
+        return ScenarioSpec(
+            name="topo",
+            workload=WorkloadSpec(kind="stencil2d", nprocs=16, iterations=4),
+            protocol=ProtocolSpec(
+                name="hydee",
+                options={"checkpoint_interval": 2},
+                clustering=ClusteringSpec(method="topology"),
+            ),
+            network=NetworkSpec(
+                topology=TopologySpec(
+                    preset="cluster-per-node",
+                    params={"ranks_per_node": 4, "oversubscription": 4.0},
+                )
+            ),
+        )
+
+    def test_json_round_trip_is_identity(self):
+        spec = self._topo_spec()
+        restored = ScenarioSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.network.topology == spec.network.topology
+        assert restored.spec_hash() == spec.spec_hash()
+
+    def test_round_trip_through_plain_json(self):
+        spec = self._topo_spec()
+        restored = ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert restored == spec
+
+    def test_specs_without_topology_serialise_as_before(self):
+        # A spec with no topology must not gain a "topology" key: pre-topology
+        # spec hashes are cache keys and must remain stable.
+        spec = full_spec()
+        assert "topology" not in spec.to_dict()["network"]
+        pinned = ScenarioSpec(
+            name="hash-pin",
+            workload=WorkloadSpec(kind="stencil2d", nprocs=16, iterations=8),
+            protocol=ProtocolSpec(
+                name="hydee",
+                options={"checkpoint_interval": 2},
+                clustering=ClusteringSpec(method="block", num_clusters=4),
+            ),
+            failures=(FailureSpec(ranks=(5,), at_iteration=5),),
+        )
+        # Hash computed before the topology layer existed (PR 1 code).
+        assert pinned.spec_hash() == "47aa6a972cec363d"
+
+    def test_unknown_preset_rejected_at_spec_time(self):
+        from repro.scenarios import TopologySpec
+
+        with pytest.raises(ConfigurationError):
+            TopologySpec(preset="moebius-strip")
+
+    def test_topology_params_are_sweepable(self):
+        spec = self._topo_spec()
+        grid = sweep(
+            spec, {"network.topology.params.oversubscription": [1.0, 2.0, 8.0]}
+        )
+        values = [s.network.topology.params["oversubscription"] for s in grid]
+        assert values == [1.0, 2.0, 8.0]
+        assert len({s.spec_hash() for s in grid}) == 3
+
+    def test_build_produces_routed_network(self):
+        from repro.simulator.network import RoutedNetworkModel
+
+        network = build_network(self._topo_spec())
+        assert isinstance(network, RoutedNetworkModel)
+        assert network.topology.num_clusters == 4
+        flat = build_network(full_spec())
+        assert not isinstance(flat, RoutedNetworkModel)
+
+    def test_topology_clustering_methods_resolve(self):
+        spec = self._topo_spec()
+        clusters = resolve_clusters(
+            spec.protocol.clustering, spec.workload, topology=spec.network.topology
+        )
+        assert clusters == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9, 10, 11], [12, 13, 14, 15]]
+        misaligned = resolve_clusters(
+            ClusteringSpec(method="topology-misaligned"),
+            spec.workload,
+            topology=spec.network.topology,
+        )
+        assert sorted(r for c in misaligned for r in c) == list(range(16))
+        assert misaligned != clusters
+
+    def test_topology_clustering_requires_non_flat_topology(self):
+        from repro.scenarios import TopologySpec
+
+        spec = self._topo_spec()
+        with pytest.raises(ConfigurationError):
+            resolve_clusters(spec.protocol.clustering, spec.workload, topology=None)
+        with pytest.raises(ConfigurationError):
+            resolve_clusters(
+                spec.protocol.clustering,
+                spec.workload,
+                topology=TopologySpec(preset="flat"),
+            )
+
+    def test_built_topology_scenario_runs_to_completion(self):
+        result = build(self._topo_spec()).run()
+        assert result.completed
+        extra = result.stats.extra
+        assert extra["topology"]["clusters"] == 4
+        assert "inter-cluster" in extra["tier_stats"]
+        assert extra["contention_wait_s"] >= 0.0
