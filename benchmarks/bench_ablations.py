@@ -2,15 +2,19 @@
 
 These regenerate the two ablation studies of DESIGN.md (E5 and E6): where the
 Figure 5 peaks come from (piggyback policy) and the rollback-vs-logging
-frontier the clustering tool optimises (cluster-count sweep).
+frontier the clustering tool optimises (cluster-count sweep).  Run standalone
+it writes ``BENCH_ablations.json``.
 """
 
 import pytest
+from bench_utils import ensure_src_on_path, run_and_report, timed
 
-from repro.experiments.ablation_clusters import render as render_sweep
-from repro.experiments.ablation_clusters import run as run_cluster_sweep
-from repro.experiments.ablation_piggyback import render as render_piggyback
-from repro.experiments.ablation_piggyback import run as run_piggyback
+ensure_src_on_path()
+
+from repro.experiments.ablation_clusters import render as render_sweep  # noqa: E402
+from repro.experiments.ablation_clusters import run as run_cluster_sweep  # noqa: E402
+from repro.experiments.ablation_piggyback import render as render_piggyback  # noqa: E402
+from repro.experiments.ablation_piggyback import run as run_piggyback  # noqa: E402
 
 
 def test_piggyback_policy_ablation(benchmark):
@@ -48,3 +52,28 @@ def test_cluster_count_sweep(benchmark, name, table_nprocs):
         assert rows[0]["logged_pct"] > 30
         logged = [row["logged_pct"] for row in rows]
         assert logged == sorted(logged)
+
+
+def _build_report() -> dict:
+    piggyback, piggyback_s = timed(run_piggyback, sizes=[16, 64, 2048, 65536])
+    sweep, sweep_s = timed(run_cluster_sweep, benchmark="bt", nprocs=64, counts=[2, 4, 8])
+    return {
+        "benchmark": "ablations",
+        "elapsed_s": round(piggyback_s + sweep_s, 3),
+        "piggyback_sizes": [row["bytes"] for row in piggyback],
+        "bt_sweep": {
+            str(row["clusters"]): {
+                "rollback_pct": row["rollback_pct"],
+                "logged_pct": row["logged_pct"],
+            }
+            for row in sweep
+        },
+    }
+
+
+def main() -> int:
+    return run_and_report("ablations", _build_report)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,10 +5,15 @@ coordinated checkpointing, each run failure-free and with one injected
 failure, over a hierarchical topology at two inter-cluster oversubscription
 factors.  The assertions check the containment claim that the experiment is
 designed to show: the recovery cost of coordinated checkpointing grows
-faster with oversubscription than HydEE's.
+faster with oversubscription than HydEE's.  Run standalone it writes
+``BENCH_congestion_recovery.json``.
 """
 
-from repro.analysis.congestion import (
+from bench_utils import ensure_src_on_path, run_and_report, timed
+
+ensure_src_on_path()
+
+from repro.analysis.congestion import (  # noqa: E402
     recovery_divergence,
     render_congestion,
     run_congestion_experiment,
@@ -39,3 +44,23 @@ def test_congested_recovery_benchmark(benchmark):
     for oversub in OVERSUBSCRIPTIONS:
         assert by_key[("hydee", oversub)].ranks_rolled_back < \
             by_key[("coordinated", oversub)].ranks_rolled_back
+
+
+def _build_report() -> dict:
+    rows, elapsed = timed(_run_sweep)
+    divergence = recovery_divergence(rows)
+    return {
+        "benchmark": "congestion-recovery",
+        "nprocs": NPROCS,
+        "oversubscriptions": list(OVERSUBSCRIPTIONS),
+        "elapsed_s": round(elapsed, 3),
+        "recovery_growth": {k: round(v, 3) for k, v in sorted(divergence.items())},
+    }
+
+
+def main() -> int:
+    return run_and_report("congestion_recovery", _build_report)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

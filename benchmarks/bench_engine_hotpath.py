@@ -12,15 +12,14 @@ or the current directory) so CI can archive the perf trajectory.  Runs
 either under pytest (``pytest benchmarks/bench_engine_hotpath.py -o
 python_files='bench_*.py' --benchmark-only``) or directly::
 
-    PYTHONPATH=src python benchmarks/bench_engine_hotpath.py
+    python benchmarks/bench_engine_hotpath.py
 """
 
-import json
-import os
-import sys
 import time
 
-sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+from bench_utils import ensure_src_on_path, run_and_report, write_report
+
+ensure_src_on_path()
 
 from repro.simulator.channel import Transport  # noqa: E402
 from repro.simulator.engine import SimulationEngine  # noqa: E402
@@ -72,19 +71,10 @@ def bench_report() -> dict:
     }
 
 
-def write_report(report: dict, filename: str = "BENCH_engine.json") -> str:
-    out_dir = os.environ.get("REPRO_BENCH_DIR", ".")
-    path = os.path.join(out_dir, filename)
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(report, fh, indent=1, sort_keys=True)
-        fh.write("\n")
-    return path
-
-
 # ------------------------------------------------------------------- pytest
 def test_engine_hotpath_benchmark(benchmark):
     report = benchmark.pedantic(bench_report, rounds=1, iterations=1)
-    path = write_report(report)
+    path = write_report("engine", report)
     print()
     print(f"{report['events_per_s']:>12,} events/s")
     print(f"{report['messages_per_s']:>12,} messages/s")
@@ -94,11 +84,7 @@ def test_engine_hotpath_benchmark(benchmark):
 
 
 def main() -> int:
-    report = bench_report()
-    path = write_report(report)
-    print(json.dumps(report, indent=1, sort_keys=True))
-    print(f"wrote {path}", file=sys.stderr)
-    return 0
+    return run_and_report("engine", bench_report)
 
 
 if __name__ == "__main__":

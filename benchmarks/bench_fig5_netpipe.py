@@ -2,13 +2,20 @@
 
 The benchmarked unit is the simulated ping-pong sweep over the message-size
 range for the three configurations (native, HydEE without logging, HydEE with
-logging); the printed series are the Figure 5 curves.
+logging); the printed series are the Figure 5 curves.  Run standalone
+(``python benchmarks/bench_fig5_netpipe.py``) it writes
+``BENCH_fig5_netpipe.json``.
 """
 
-import pytest
+from bench_utils import ensure_src_on_path, run_and_report, timed
 
-from repro.analysis.netpipe_analysis import analytic_netpipe_experiment, run_netpipe_experiment
-from repro.simulator.network import netpipe_sizes
+ensure_src_on_path()
+
+from repro.analysis.netpipe_analysis import (  # noqa: E402
+    analytic_netpipe_experiment,
+    run_netpipe_experiment,
+)
+from repro.simulator.network import netpipe_sizes  # noqa: E402
 
 #: Reduced size sweep (one point per decade region) used by default; the full
 #: NetPIPE sweep (1 B .. 8 MiB) is exercised by the experiment entry point.
@@ -34,3 +41,23 @@ def test_figure5_analytic_model(benchmark):
     series = benchmark(analytic_netpipe_experiment, sizes=list(netpipe_sizes(8 << 20)))
     assert len(series["sizes"]) == len(series["latency_reduction_logging_pct"])
     assert all(v <= 1e-9 for v in series["latency_reduction_logging_pct"])
+
+
+def _build_report() -> dict:
+    result, elapsed = timed(run_netpipe_experiment, sizes=SIZES, repeats=2)
+    logging_lat = result.latency_reduction_pct("hydee_logging")
+    return {
+        "benchmark": "fig5-netpipe",
+        "sizes": SIZES,
+        "elapsed_s": round(elapsed, 3),
+        "worst_latency_degradation_pct": round(min(logging_lat), 3),
+        "large_message_degradation_pct": round(logging_lat[-1], 3),
+    }
+
+
+def main() -> int:
+    return run_and_report("fig5_netpipe", _build_report)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

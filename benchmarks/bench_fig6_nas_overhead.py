@@ -5,11 +5,15 @@ logging, HydEE with clustering) for one NAS kernel.  The default rank count
 is scaled down (36, or 256 with ``REPRO_BENCH_FULL=1``); the quantity that
 must reproduce is the *normalized* execution time, which the paper reports to
 be at most ~1.25 % above native for HydEE and no better for full logging.
+Run standalone it writes ``BENCH_fig6_nas_overhead.json``.
 """
 
 import pytest
+from bench_utils import ensure_src_on_path, run_and_report, timed
 
-from repro.analysis.overhead import measure_overhead, render_figure6
+ensure_src_on_path()
+
+from repro.analysis.overhead import by_config, measure_overhead, render_figure6  # noqa: E402
 
 #: FT's all-to-all is quadratic in the rank count; keep the per-benchmark
 #: budget reasonable by default.
@@ -20,7 +24,7 @@ BENCHMARKS = ["bt", "cg", "ft", "lu", "mg", "sp"]
 def test_figure6_overhead(benchmark, name, bench_nprocs):
     nprocs = bench_nprocs
     iterations = 2
-    row = benchmark.pedantic(
+    rows = benchmark.pedantic(
         measure_overhead,
         args=(name,),
         kwargs={"nprocs": nprocs, "iterations": iterations},
@@ -28,14 +32,39 @@ def test_figure6_overhead(benchmark, name, bench_nprocs):
         iterations=1,
     )
     print()
-    print(render_figure6([row]))
-    native = row.normalized("native")
-    hydee = row.normalized("hydee")
-    logging_all = row.normalized("message_logging")
+    print(render_figure6(rows))
+    configs = by_config(rows)
+    native = configs["native"].normalized
+    hydee = configs["hydee"].normalized
+    logging_all = configs["message_logging"].normalized
     assert native == pytest.approx(1.0)
     # Figure 6 shape: both overheads are small; HydEE never costs more than
     # logging every message.
     assert 1.0 < hydee < 1.08
     assert hydee <= logging_all + 1e-6
     # HydEE logs only the inter-cluster fraction of the traffic.
-    assert row.logged_fraction["hydee"] < row.logged_fraction["message_logging"]
+    assert configs["hydee"].logged_fraction < configs["message_logging"].logged_fraction
+
+
+def _build_report() -> dict:
+    report = {"benchmark": "fig6-nas-overhead", "nprocs": 16, "iterations": 2}
+    total = 0.0
+    for name in ("lu", "mg"):
+        rows, elapsed = timed(measure_overhead, name, nprocs=16, iterations=2)
+        configs = by_config(rows)
+        total += elapsed
+        report[name] = {
+            "hydee_normalized": round(configs["hydee"].normalized, 5),
+            "message_logging_normalized": round(configs["message_logging"].normalized, 5),
+            "hydee_logged_pct": round(100.0 * configs["hydee"].logged_fraction, 2),
+        }
+    report["elapsed_s"] = round(total, 3)
+    return report
+
+
+def main() -> int:
+    return run_and_report("fig6_nas_overhead", _build_report)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,15 +4,21 @@ The benchmarked unit is a full run of a 2-D stencil with an injected failure,
 including rollback of the affected cluster, phase-ordered replay from the
 sender-based logs and completion of the application.  The scenario is a
 declarative :class:`ScenarioSpec` executed through the campaign runner; the
-assertions check the containment and correctness claims each time the
-benchmark runs.
+assertions check the containment and correctness claims (through the run's
+metric tree) each time the benchmark runs.  Run standalone it writes
+``BENCH_recovery.json``.
 """
 
-import pytest
+from bench_utils import ensure_src_on_path, run_and_report, timed
 
-from repro.analysis.containment import render_containment, run_containment_experiment
-from repro.campaign import run_campaign
-from repro.scenarios import (
+ensure_src_on_path()
+
+from repro.analysis.containment import (  # noqa: E402
+    render_containment,
+    run_containment_experiment,
+)
+from repro.campaign import run_campaign  # noqa: E402
+from repro.scenarios import (  # noqa: E402
     ClusteringSpec,
     FailureSpec,
     ProtocolSpec,
@@ -44,8 +50,8 @@ def test_hydee_recovery_benchmark(benchmark):
     result = benchmark.pedantic(_run_with_failure, rounds=3, iterations=1)
     assert result.completed
     assert result.stats.ranks_rolled_back == 4
-    assert result.stats.extra["pstats_determinants_logged"] == 0
-    assert result.stats.extra["pstats_replayed_messages"] > 0
+    assert result.metric("protocol.determinants_logged") == 0
+    assert result.metric("protocol.replayed_messages") > 0
 
 
 def test_containment_comparison_benchmark(benchmark):
@@ -60,3 +66,24 @@ def test_containment_comparison_benchmark(benchmark):
     by_name = {row.protocol: row for row in rows}
     assert by_name["hydee"].ranks_rolled_back < by_name["coordinated"].ranks_rolled_back
     assert all(row.results_match_reference for row in rows)
+
+
+def _build_report() -> dict:
+    result, elapsed = timed(_run_with_failure)
+    return {
+        "benchmark": "hydee-recovery",
+        "nprocs": NPROCS,
+        "iterations": ITERATIONS,
+        "elapsed_s": round(elapsed, 3),
+        "ranks_rolled_back": result.stats.ranks_rolled_back,
+        "replayed_messages": result.metric("protocol.replayed_messages", 0),
+        "makespan_ms": round(result.makespan * 1e3, 3),
+    }
+
+
+def main() -> int:
+    return run_and_report("recovery", _build_report)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,14 +4,17 @@ The benchmarked unit is the full Table I computation for one benchmark
 (analytic communication graph at 256 ranks + partitioning + metrics).  The
 assertions pin the reproduced values to the paper's within loose bands so a
 regression in the partitioner or in the synthetic communication patterns is
-caught here.
+caught here.  Run standalone it writes ``BENCH_table1_clustering.json``.
 """
 
 import pytest
+from bench_utils import ensure_src_on_path, run_and_report, timed
 
-from repro.analysis.table1 import build_table1, render_table1, table1_row
-from repro.clustering.presets import TABLE1_PAPER_VALUES
-from repro.workloads.nas import NAS_BENCHMARKS
+ensure_src_on_path()
+
+from repro.analysis.table1 import build_table1, render_table1, table1_row  # noqa: E402
+from repro.clustering.presets import TABLE1_PAPER_VALUES  # noqa: E402
+from repro.workloads.nas import NAS_BENCHMARKS  # noqa: E402
 
 
 @pytest.mark.parametrize("name", sorted(NAS_BENCHMARKS))
@@ -32,3 +35,28 @@ def test_table1_full(benchmark, table_nprocs):
     print()
     print(render_table1(rows))
     assert len(rows) == 6
+
+
+def _build_report() -> dict:
+    rows, elapsed = timed(build_table1, nprocs=64)
+    return {
+        "benchmark": "table1-clustering",
+        "nprocs": 64,
+        "elapsed_s": round(elapsed, 3),
+        "rows": {
+            row.benchmark: {
+                "clusters": row.num_clusters,
+                "rollback_pct": round(row.rollback_pct, 2),
+                "logged_pct": round(row.logged_pct, 2),
+            }
+            for row in rows
+        },
+    }
+
+
+def main() -> int:
+    return run_and_report("table1_clustering", _build_report)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

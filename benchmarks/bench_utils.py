@@ -1,0 +1,48 @@
+"""Shared helpers for the benchmark suite's standalone entry points.
+
+Every ``benchmarks/bench_*.py`` module doubles as a script: ``python
+benchmarks/bench_X.py`` runs a scaled-down version of its reproduction and
+writes a ``BENCH_<name>.json`` report (to ``$REPRO_BENCH_DIR`` or the
+current directory) so CI can archive the perf trajectory.  This module
+holds the bits they share; it is not collected by pytest (no ``bench_``
+prefix match for test files, no ``test_`` functions).
+"""
+
+import json
+import os
+import sys
+import time
+
+
+def ensure_src_on_path() -> None:
+    """Make ``import repro`` work when run as a plain script."""
+    src = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+
+
+def write_report(name: str, report: dict) -> str:
+    """Write ``BENCH_<name>.json`` and return its path."""
+    out_dir = os.environ.get("REPRO_BENCH_DIR", ".")
+    path = os.path.join(out_dir, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def timed(fn, *args, **kwargs):
+    """Run ``fn`` and return ``(result, elapsed_seconds)``."""
+    started = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - started
+
+
+def run_and_report(name: str, build_report) -> int:
+    """Standard ``main()`` body: build the report dict, write it, print it."""
+    report = build_report()
+    path = write_report(name, report)
+    json.dump(report, sys.stdout, indent=1, sort_keys=True)
+    print()
+    print(f"wrote {path}", file=sys.stderr)
+    return 0

@@ -64,7 +64,7 @@ def main() -> None:
     outcome = run_campaign(specs, keep_artifacts=True)
     reference, hydee, coordinated = outcome.artifacts
 
-    replayed = hydee.stats.extra["pstats_replayed_messages"]
+    replayed = hydee.metric("protocol.replayed_messages", 0)
     print(
         f"HydEE        : {hydee.stats.ranks_rolled_back}/{NPROCS} ranks rolled back, "
         f"{replayed} messages replayed, "

@@ -74,13 +74,14 @@ def main() -> None:
     ]
     outcome = run_campaign(specs, keep_artifacts=True)
     reference, recovered = outcome.artifacts
-    extra = recovered.stats.extra
 
     print(f"  failed ranks                      : {sorted(victims)}")
     print(f"  ranks rolled back                 : {recovered.stats.ranks_rolled_back} "
           f"({100 * recovered.stats.rolled_back_fraction:.1f}%)")
-    print(f"  messages replayed from logs       : {extra['pstats_replayed_messages']}")
-    print(f"  orphan messages suppressed        : {extra['pstats_suppressed_orphans']}")
+    print(f"  messages replayed from logs       : "
+          f"{recovered.metric('protocol.replayed_messages', 0)}")
+    print(f"  orphan messages suppressed        : "
+          f"{recovered.metric('protocol.suppressed_orphans', 0)}")
     print(f"  recovery time                     : {recovered.stats.recovery_time * 1e3:.2f} ms")
     print(f"  results identical to reference    : "
           f"{recovered.rank_results == reference.rank_results}")

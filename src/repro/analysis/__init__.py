@@ -1,4 +1,9 @@
-"""Measurement harnesses and performance models for the paper's evaluation."""
+"""Measurement harnesses and performance models for the paper's evaluation.
+
+Importing this package also registers every analysis table schema
+(:mod:`repro.results.tables`), which is what makes ``repro-campaign query
+STORE --table NAME`` work over cached stores.
+"""
 
 from repro.analysis.perf_model import (
     MessageCostBreakdown,
@@ -7,24 +12,32 @@ from repro.analysis.perf_model import (
     message_cost,
 )
 from repro.analysis.netpipe_analysis import (
+    NETPIPE,
     NetpipeResult,
     analytic_netpipe_experiment,
     run_netpipe_experiment,
 )
-from repro.analysis.table1 import Table1Row, build_table1, render_table1, table1_row
+from repro.analysis.table1 import (
+    CLUSTER_SWEEP,
+    TABLE1,
+    build_table1,
+    render_table1,
+    table1_row,
+)
 from repro.analysis.overhead import (
-    OverheadRow,
+    FIGURE6,
     build_figure6,
+    by_config,
     measure_overhead,
     render_figure6,
 )
 from repro.analysis.containment import (
-    ContainmentRow,
+    CONTAINMENT,
     render_containment,
     run_containment_experiment,
 )
 from repro.analysis.congestion import (
-    CongestionRow,
+    CONGESTION,
     congestion_specs,
     recovery_divergence,
     render_congestion,
@@ -37,21 +50,24 @@ __all__ = [
     "message_cost",
     "analytic_pingpong_series",
     "iteration_overhead_estimate",
+    "NETPIPE",
     "NetpipeResult",
     "run_netpipe_experiment",
     "analytic_netpipe_experiment",
-    "Table1Row",
+    "TABLE1",
+    "CLUSTER_SWEEP",
     "table1_row",
     "build_table1",
     "render_table1",
-    "OverheadRow",
+    "FIGURE6",
+    "by_config",
     "measure_overhead",
     "build_figure6",
     "render_figure6",
-    "ContainmentRow",
+    "CONTAINMENT",
     "run_containment_experiment",
     "render_containment",
-    "CongestionRow",
+    "CONGESTION",
     "congestion_specs",
     "run_congestion_experiment",
     "render_congestion",

@@ -18,21 +18,25 @@ so HydEE's logged traffic is exactly the traffic crossing the
 oversubscribed links.
 
 Scenarios run through the campaign runner under the registered
-``congestion-recovery`` analysis job, which records a slim payload
-(makespans, rollback counts, per-tier link traffic) -- so sweeps cache,
-fan out over workers, and stay byte-identical between serial and parallel
-runs.
+``congestion-recovery`` analysis job, which records a slim metric tree
+(``sim.*`` makespans/rollbacks, ``links.tiers.inter-cluster``,
+``network.*``) -- so sweeps cache, fan out over workers, and stay
+byte-identical between serial and parallel runs.  The paired rows follow
+the registered :data:`CONGESTION` schema and can be rebuilt from any store
+with ``repro-campaign query STORE --table congestion``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.analysis.reporting import format_dict_table
 from repro.campaign.runner import run_campaign
 from repro.campaign.store import ResultsStore
 from repro.errors import ConfigurationError
+from repro.results.metrics import MetricSet
+from repro.results.query import ResultSet
+from repro.results.run import RunResult, make_payload
+from repro.results.tables import Column, Row, TableSchema, register_table
 from repro.scenarios.build import build
 from repro.scenarios.spec import (
     ClusteringSpec,
@@ -48,25 +52,58 @@ from repro.scenarios.spec import (
 INTER_CLUSTER_TIER = "inter-cluster"
 
 
+def _rows_from_store(resultset: ResultSet) -> List[Row]:
+    return rows_from_resultset(
+        resultset.where(**{"tags.experiment": "congestion-recovery"})
+    )
+
+
+#: Recovery cost of one protocol at one oversubscription factor.
+CONGESTION = register_table(
+    TableSchema(
+        "congestion",
+        columns=(
+            Column("protocol", "str"),
+            Column("oversubscription", "float", header="oversub"),
+            Column("failure_free_makespan_s", "float", units="s", scale=1e3,
+                   format=".3f", header="free_ms"),
+            Column("failed_makespan_s", "float", units="s", scale=1e3,
+                   format=".3f", header="failed_ms"),
+            Column("recovery_seconds", "float", units="s", scale=1e3,
+                   format=".3f", header="recovery_ms"),
+            Column("ranks_rolled_back", "int", header="rolled_back"),
+            Column("replayed_messages", "int", header="replayed"),
+            Column("inter_cluster_wait_s", "float", units="s", scale=1e3,
+                   format=".3f", header="inter_wait_ms"),
+            Column("inter_cluster_bytes", "int", units="B", scale=1e-6,
+                   format=".2f", header="inter_MB"),
+        ),
+        title="Congested recovery: one failure, inter-cluster oversubscription sweep",
+    ),
+    builder=_rows_from_store,
+)
+
+
 # ----------------------------------------------------------------------- job
 def congestion_job(spec: ScenarioSpec) -> Tuple[Dict[str, Any], Any]:
     """Campaign job: simulate and keep only the congestion-relevant metrics."""
     from repro.campaign.jobs import jsonify
 
     result = build(spec).run()
-    extra = result.stats.extra
-    tier_stats = extra.get("tier_stats", {})
-    payload = {
-        "status": result.status,
-        "makespan": result.makespan,
-        "recovery_time": result.stats.recovery_time,
-        "ranks_rolled_back": result.stats.ranks_rolled_back,
-        "replayed_messages": extra.get("pstats_replayed_messages", 0),
-        "contention_wait_s": extra.get("contention_wait_s", 0.0),
-        "inter_cluster": tier_stats.get(INTER_CLUSTER_TIER, {}),
-        "topology": extra.get("topology", {}),
-    }
-    return jsonify(payload), result
+    full = result.metrics
+    metrics = MetricSet()
+    metrics.set("sim.makespan", full.get("sim.makespan"))
+    metrics.set("sim.recovery_time", full.get("sim.recovery_time"))
+    metrics.set("sim.ranks_rolled_back", full.get("sim.ranks_rolled_back"))
+    metrics.set("protocol.replayed_messages", full.get("protocol.replayed_messages", 0))
+    metrics.set("network.contention_wait_s", full.get("network.contention_wait_s", 0.0))
+    topology = full.get("network.topology")
+    if topology:
+        metrics.set("network.topology", topology)
+    inter = full.get(f"links.tiers.{INTER_CLUSTER_TIER}")
+    if inter:
+        metrics.set(f"links.tiers.{INTER_CLUSTER_TIER}", inter)
+    return jsonify(make_payload(result.status, metrics, {})), result
 
 
 # ---------------------------------------------------------------------- specs
@@ -135,75 +172,71 @@ def congestion_specs(
 
 
 # ----------------------------------------------------------------------- rows
-@dataclass
-class CongestionRow:
-    """Recovery cost of one protocol at one oversubscription factor."""
+def rows_from_resultset(resultset: ResultSet) -> List[Row]:
+    """Pair the failure-free / failure runs back into :data:`CONGESTION` rows.
 
-    protocol: str
-    oversubscription: float
-    failure_free_makespan_s: float
-    failed_makespan_s: float
-    recovery_seconds: float
-    ranks_rolled_back: int
-    replayed_messages: int
-    inter_cluster_wait_s: float
-    inter_cluster_bytes: int
-
-    def as_dict(self) -> Dict[str, Any]:
-        return {
-            "protocol": self.protocol,
-            "oversub": self.oversubscription,
-            "free_ms": round(self.failure_free_makespan_s * 1e3, 3),
-            "failed_ms": round(self.failed_makespan_s * 1e3, 3),
-            "recovery_ms": round(self.recovery_seconds * 1e3, 3),
-            "rolled_back": self.ranks_rolled_back,
-            "replayed": self.replayed_messages,
-            "inter_wait_ms": round(self.inter_cluster_wait_s * 1e3, 3),
-            "inter_MB": round(self.inter_cluster_bytes / 1e6, 2),
-        }
-
-
-def rows_from_campaign(outcome) -> List[CongestionRow]:
-    """Pair the failure-free / failure records back into rows."""
-    by_key: Dict[Tuple[str, float], Dict[str, Dict[str, Any]]] = {}
-    for spec, record in zip(outcome.specs, outcome.records):
-        key = (spec.tags["protocol"], float(spec.tags["oversubscription"]))
-        by_key.setdefault(key, {})[spec.tags["role"]] = record["result"]
-
-    rows: List[CongestionRow] = []
-    for (protocol, oversub), results in by_key.items():
-        if set(results) != {"failure-free", "failure"}:
+    Pairing keys include the workload shape, not just (protocol,
+    oversubscription): a store holding several sweeps (e.g. two rank
+    counts) must never subtract a failure-free makespan of one sweep from
+    the failed makespan of another.
+    """
+    rows: List[Row] = []
+    groups = resultset.group_by(
+        "tags.protocol", "tags.oversubscription",
+        "workload.kind", "workload.nprocs", "workload.iterations",
+    )
+    for key, pair in groups.items():
+        protocol, oversub = key[0], key[1]
+        by_role: Dict[str, RunResult] = {}
+        for run in pair:
+            role = str(run.field("tags.role"))
+            if role in by_role:
+                raise ConfigurationError(
+                    f"congestion campaign for {protocol} @ {oversub} has several "
+                    f"{role!r} runs for the same workload shape; query a store "
+                    "holding one sweep (filter with --where) or re-run with "
+                    "distinct workload parameters"
+                )
+            by_role[role] = run
+        if set(by_role) != {"failure-free", "failure"}:
             raise ConfigurationError(
                 f"congestion campaign for {protocol} @ {oversub} is missing "
-                f"records (got roles: {sorted(results)})"
+                f"records (got roles: {sorted(by_role)})"
             )
-        free, failed = results["failure-free"], results["failure"]
-        for role, result in (("failure-free", free), ("failure", failed)):
-            if result.get("status") != "completed":
+        for role, run in sorted(by_role.items()):
+            if not run.completed:
                 # A truncated run (timeout/event-limit/deadlock with
                 # raise_on_incomplete disabled) would understate recovery
                 # time and silently flip the containment conclusion.
                 raise ConfigurationError(
                     f"congestion run {protocol} @ oversubscription {oversub} "
-                    f"({role}) did not complete: status "
-                    f"{result.get('status')!r}"
+                    f"({role}) did not complete: status {run.status!r}"
                 )
-        inter = failed.get("inter_cluster", {}) or {}
+        free, failed = by_role["failure-free"], by_role["failure"]
         rows.append(
-            CongestionRow(
-                protocol=protocol,
-                oversubscription=oversub,
-                failure_free_makespan_s=free["makespan"],
-                failed_makespan_s=failed["makespan"],
-                recovery_seconds=failed["makespan"] - free["makespan"],
-                ranks_rolled_back=failed["ranks_rolled_back"],
-                replayed_messages=failed["replayed_messages"],
-                inter_cluster_wait_s=inter.get("wait_s", 0.0),
-                inter_cluster_bytes=inter.get("bytes", 0),
+            CONGESTION.row(
+                protocol=str(protocol),
+                oversubscription=float(oversub),
+                failure_free_makespan_s=free.metric("sim.makespan"),
+                failed_makespan_s=failed.metric("sim.makespan"),
+                recovery_seconds=failed.metric("sim.makespan") - free.metric("sim.makespan"),
+                ranks_rolled_back=failed.metric("sim.ranks_rolled_back"),
+                replayed_messages=failed.metric("protocol.replayed_messages"),
+                inter_cluster_wait_s=failed.metric(
+                    f"links.tiers.{INTER_CLUSTER_TIER}.wait_s", 0.0
+                ),
+                inter_cluster_bytes=failed.metric(
+                    f"links.tiers.{INTER_CLUSTER_TIER}.bytes", 0
+                ),
             )
         )
     rows.sort(key=lambda row: (row.protocol, row.oversubscription))
     return rows
+
+
+def rows_from_campaign(outcome) -> List[Row]:
+    """Pair the failure-free / failure records of a campaign into rows."""
+    return rows_from_resultset(ResultSet.from_campaign(outcome))
 
 
 def run_congestion_experiment(
@@ -219,7 +252,7 @@ def run_congestion_experiment(
     ranks_per_node: int = 4,
     workers: int = 1,
     store: Optional[ResultsStore] = None,
-) -> List[CongestionRow]:
+) -> List[Row]:
     """Run the congested-recovery grid and return the paired rows."""
     specs = congestion_specs(
         nprocs=nprocs,
@@ -238,13 +271,13 @@ def run_congestion_experiment(
 
 
 # ------------------------------------------------------------------ reporting
-def recovery_divergence(rows: Sequence[CongestionRow]) -> Dict[str, float]:
+def recovery_divergence(rows: Sequence[Row]) -> Dict[str, float]:
     """Per protocol: recovery time at max oversubscription / at minimum.
 
     The paper's containment claim predicts this growth factor to be much
     larger for coordinated checkpointing than for HydEE.
     """
-    by_protocol: Dict[str, List[CongestionRow]] = {}
+    by_protocol: Dict[str, List[Row]] = {}
     for row in rows:
         by_protocol.setdefault(row.protocol, []).append(row)
     divergence: Dict[str, float] = {}
@@ -256,19 +289,5 @@ def recovery_divergence(rows: Sequence[CongestionRow]) -> Dict[str, float]:
     return divergence
 
 
-def render_congestion(rows: Sequence[CongestionRow]) -> str:
-    return format_dict_table(
-        [row.as_dict() for row in rows],
-        columns=[
-            "protocol",
-            "oversub",
-            "free_ms",
-            "failed_ms",
-            "recovery_ms",
-            "rolled_back",
-            "replayed",
-            "inter_wait_ms",
-            "inter_MB",
-        ],
-        title="Congested recovery: one failure, inter-cluster oversubscription sweep",
-    )
+def render_congestion(rows: Sequence[Row]) -> str:
+    return CONGESTION.render_text(rows)

@@ -16,16 +16,17 @@ executed through the campaign runner.  Unlike the overhead sweeps, this
 experiment needs the *live* simulation results (send-sequence traces and
 per-rank results to compare against the reference), so the campaign runs
 with ``keep_artifacts=True`` and per-event tracing enabled, and records are
-not cached.
+not cached; protocol counters are read from each result's
+:class:`~repro.results.metrics.MetricSet` (``protocol.*``), never from raw
+stat dicts.  The row layout is the registered :data:`CONTAINMENT` schema.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
-from repro.analysis.reporting import format_dict_table
 from repro.campaign.runner import run_campaign
+from repro.results.tables import Column, Row, TableSchema, register_table
 from repro.scenarios.build import to_network_spec
 from repro.scenarios.spec import (
     ClusteringSpec,
@@ -37,36 +38,28 @@ from repro.scenarios.spec import (
 from repro.simulator.network import NetworkModel
 from repro.simulator.trace import compare_send_sequences
 
-
-@dataclass
-class ContainmentRow:
-    """Outcome of one protocol's recovery from one failure scenario."""
-
-    protocol: str
-    nprocs: int
-    failed_ranks: List[int]
-    ranks_rolled_back: int
-    rolled_back_pct: float
-    replayed_messages: int
-    suppressed_orphans: int
-    logged_bytes: int
-    recovery_time_s: float
-    results_match_reference: bool
-    send_sequences_match: bool
-
-    def as_dict(self) -> Dict[str, Any]:
-        return {
-            "protocol": self.protocol,
-            "failed": ",".join(str(r) for r in self.failed_ranks),
-            "rolled_back": self.ranks_rolled_back,
-            "rolled_back_pct": round(self.rolled_back_pct, 1),
-            "replayed": self.replayed_messages,
-            "orphans": self.suppressed_orphans,
-            "logged_MB": round(self.logged_bytes / 1e6, 2),
-            "recovery_ms": round(self.recovery_time_s * 1e3, 3),
-            "correct": self.results_match_reference,
-            "send_det": self.send_sequences_match,
-        }
+#: Outcome of one protocol's recovery from one failure scenario.  Live-only
+#: (needs traces), so the schema registers without a store builder.
+CONTAINMENT = register_table(
+    TableSchema(
+        "containment",
+        columns=(
+            Column("protocol", "str"),
+            Column("failed_ranks", "str", header="failed"),
+            Column("ranks_rolled_back", "int", header="rolled_back"),
+            Column("rolled_back_pct", "float", units="%", format=".1f"),
+            Column("replayed_messages", "int", header="replayed"),
+            Column("suppressed_orphans", "int", header="orphans"),
+            Column("logged_bytes", "int", units="B", scale=1e-6, format=".2f",
+                   header="logged_MB"),
+            Column("recovery_time_s", "float", units="s", scale=1e3, format=".3f",
+                   header="recovery_ms"),
+            Column("results_match_reference", "bool", header="correct"),
+            Column("send_sequences_match", "bool", header="send_det"),
+        ),
+        title="Failure containment: one failure, same workload, different protocols",
+    )
+)
 
 
 def containment_specs(
@@ -139,7 +132,7 @@ def run_containment_experiment(
     network: Optional[NetworkModel] = None,
     protocols: Sequence[str] = ("hydee", "coordinated", "message-logging"),
     workers: int = 1,
-) -> List[ContainmentRow]:
+) -> List[Row]:
     """Inject the same failure under several protocols and compare containment."""
     specs = containment_specs(
         nprocs=nprocs,
@@ -155,21 +148,19 @@ def run_containment_experiment(
     outcome = run_campaign(specs, workers=workers, keep_artifacts=True)
 
     reference = outcome.artifacts[0]
-    rows: List[ContainmentRow] = []
+    rows: List[Row] = []
     for spec, result in zip(outcome.specs[1:], outcome.artifacts[1:]):
         name = spec.tags["protocol"]
-        extra = result.stats.extra
         mismatches = compare_send_sequences(reference.trace, result.trace)
         rows.append(
-            ContainmentRow(
+            CONTAINMENT.row(
                 protocol=name,
-                nprocs=spec.workload.nprocs,
-                failed_ranks=sorted(failed_ranks),
+                failed_ranks=",".join(str(r) for r in sorted(failed_ranks)),
                 ranks_rolled_back=result.stats.ranks_rolled_back,
                 rolled_back_pct=100.0 * result.stats.rolled_back_fraction,
-                replayed_messages=extra.get("pstats_replayed_messages", 0),
-                suppressed_orphans=extra.get("pstats_suppressed_orphans", 0),
-                logged_bytes=extra.get("pstats_logged_bytes", 0),
+                replayed_messages=result.metric("protocol.replayed_messages", 0),
+                suppressed_orphans=result.metric("protocol.suppressed_orphans", 0),
+                logged_bytes=result.metric("protocol.logged_bytes", 0),
                 recovery_time_s=result.stats.recovery_time,
                 results_match_reference=result.rank_results == reference.rank_results,
                 send_sequences_match=not mismatches,
@@ -178,20 +169,5 @@ def run_containment_experiment(
     return rows
 
 
-def render_containment(rows: Sequence[ContainmentRow]) -> str:
-    return format_dict_table(
-        [row.as_dict() for row in rows],
-        columns=[
-            "protocol",
-            "failed",
-            "rolled_back",
-            "rolled_back_pct",
-            "replayed",
-            "orphans",
-            "logged_MB",
-            "recovery_ms",
-            "correct",
-            "send_det",
-        ],
-        title="Failure containment: one failure, same workload, different protocols",
-    )
+def render_containment(rows: Sequence[Row]) -> str:
+    return CONTAINMENT.render_text(rows)

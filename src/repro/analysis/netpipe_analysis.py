@@ -10,7 +10,11 @@ Three configurations are measured over a sweep of message sizes:
 
 The harness can run the actual simulated ping-pong (default) or fall back to
 the closed-form model of :mod:`repro.analysis.perf_model`; both produce the
-same series structure so the benchmarks and tests can compare them.
+same series structure so the benchmarks and tests can compare them.  The
+per-size measurements are read through :class:`~repro.results.run.RunResult`
+(``data["rank_results"]``), and the printed series follow the registered
+:data:`NETPIPE` table schema, so ``repro-campaign query STORE --table
+netpipe`` rebuilds the Figure 5 series from a cached store.
 """
 
 from __future__ import annotations
@@ -19,9 +23,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.perf_model import analytic_pingpong_series
-from repro.analysis.reporting import format_series
 from repro.campaign.runner import run_campaign
 from repro.campaign.store import ResultsStore
+from repro.results.query import ResultSet
+from repro.results.run import RunResult
+from repro.results.tables import Column, Row, TableSchema, register_table
 from repro.scenarios.build import to_network_spec
 from repro.scenarios.spec import (
     ClusteringSpec,
@@ -30,6 +36,32 @@ from repro.scenarios.spec import (
     WorkloadSpec,
 )
 from repro.simulator.network import NetworkModel, netpipe_sizes
+
+
+def _rows_from_store(resultset: ResultSet) -> List[Row]:
+    return result_from_resultset(resultset).rows()
+
+
+#: One NetPIPE size point: latency/bandwidth change vs native, in percent.
+NETPIPE = register_table(
+    TableSchema(
+        "netpipe",
+        columns=(
+            Column("bytes", "int"),
+            Column("lat_no_log_pct", "float", units="%", format=".2f",
+                   header="lat% no-log"),
+            Column("lat_log_pct", "float", units="%", format=".2f",
+                   header="lat% log"),
+            Column("bw_no_log_pct", "float", units="%", format=".2f",
+                   header="bw% no-log"),
+            Column("bw_log_pct", "float", units="%", format=".2f",
+                   header="bw% log"),
+        ),
+        title="Figure 5 -- ping-pong performance change vs native MPICH2 "
+              "(negative = overhead)",
+    ),
+    builder=_rows_from_store,
+)
 
 
 @dataclass
@@ -52,19 +84,25 @@ class NetpipeResult:
         other = self.bandwidth_bytes_per_s[config]
         return [100.0 * (o - n) / n if n > 0 else 0.0 for n, o in zip(native, other)]
 
+    def rows(self) -> List[Row]:
+        """The sweep as :data:`NETPIPE` table rows."""
+        lat_no_log = self.latency_reduction_pct("hydee_no_logging")
+        lat_log = self.latency_reduction_pct("hydee_logging")
+        bw_no_log = self.bandwidth_reduction_pct("hydee_no_logging")
+        bw_log = self.bandwidth_reduction_pct("hydee_logging")
+        return [
+            NETPIPE.row(
+                bytes=size,
+                lat_no_log_pct=lat_no_log[idx],
+                lat_log_pct=lat_log[idx],
+                bw_no_log_pct=bw_no_log[idx],
+                bw_log_pct=bw_log[idx],
+            )
+            for idx, size in enumerate(self.sizes)
+        ]
+
     def as_text(self) -> str:
-        series = {
-            "lat% no-log": [round(v, 2) for v in self.latency_reduction_pct("hydee_no_logging")],
-            "lat% log": [round(v, 2) for v in self.latency_reduction_pct("hydee_logging")],
-            "bw% no-log": [round(v, 2) for v in self.bandwidth_reduction_pct("hydee_no_logging")],
-            "bw% log": [round(v, 2) for v in self.bandwidth_reduction_pct("hydee_logging")],
-        }
-        return format_series(
-            "bytes",
-            self.sizes,
-            series,
-            title="Figure 5 -- ping-pong performance change vs native MPICH2 (negative = overhead)",
-        )
+        return NETPIPE.render_text(self.rows())
 
 
 def _normalise_sizes(sizes: Optional[Sequence[int]]) -> List[int]:
@@ -119,6 +157,48 @@ def netpipe_specs(
     ]
 
 
+def _measurements(run: RunResult) -> Dict[str, Dict[str, float]]:
+    """Rank 0's per-size measurements (record keys are JSON strings)."""
+    return run.data["rank_results"]["0"]["measurements"]
+
+
+def result_from_resultset(resultset: ResultSet) -> NetpipeResult:
+    """Rebuild the three Figure 5 series from figure5-tagged runs.
+
+    Refuses a result set mixing several netpipe sweeps (different size
+    lists or duplicate series): silently combining series measured under
+    different parameters would fabricate a Figure 5 that nobody ran.
+    """
+    from repro.errors import ConfigurationError
+
+    runs = resultset.where(**{"tags.experiment": "figure5"})
+    result: Optional[NetpipeResult] = None
+    for run in runs:
+        sizes = [int(s) for s in run.spec_field("workload.params.sizes", ())]
+        if result is None:
+            result = NetpipeResult(sizes=sizes)
+        elif sizes != result.sizes:
+            raise ConfigurationError(
+                "figure5 runs with different size sweeps in one result set; "
+                "filter the store (e.g. --where name=figure5:native style "
+                "spec names) down to a single sweep first"
+            )
+        name = str(run.field("tags.series"))
+        if name in result.latency_s:
+            raise ConfigurationError(
+                f"several figure5 runs for series {name!r} in one result set "
+                "(mixed sweeps?); filter the store down to a single sweep"
+            )
+        measurements = _measurements(run)
+        result.latency_s[name] = [measurements[str(s)]["latency_s"] for s in result.sizes]
+        result.bandwidth_bytes_per_s[name] = [
+            measurements[str(s)]["bandwidth_bytes_per_s"] for s in result.sizes
+        ]
+    if result is None:
+        result = NetpipeResult(sizes=[])
+    return result
+
+
 def run_netpipe_experiment(
     sizes: Optional[Sequence[int]] = None,
     network: Optional[NetworkModel] = None,
@@ -133,18 +213,7 @@ def run_netpipe_experiment(
         sizes=sizes, network=network, repeats=repeats, piggyback_bytes=piggyback_bytes
     )
     outcome = run_campaign(specs, workers=workers, store=store)
-
-    result = NetpipeResult(sizes=list(sizes))
-    for spec, record in zip(outcome.specs, outcome.records):
-        name = spec.tags["series"]
-        # Campaign records are pure JSON: rank and size keys come back as
-        # strings.
-        measurements = record["result"]["rank_results"]["0"]["measurements"]
-        result.latency_s[name] = [measurements[str(s)]["latency_s"] for s in sizes]
-        result.bandwidth_bytes_per_s[name] = [
-            measurements[str(s)]["bandwidth_bytes_per_s"] for s in sizes
-        ]
-    return result
+    return result_from_resultset(ResultSet.from_campaign(outcome))
 
 
 def analytic_netpipe_experiment(

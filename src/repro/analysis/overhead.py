@@ -14,18 +14,21 @@ more when everything is logged; the shape to reproduce is "both are small,
 HydEE is consistently at or below full logging".
 
 Every run is declared as a :class:`~repro.scenarios.spec.ScenarioSpec` and
-executed through the campaign runner, so a whole Figure 6 sweep can fan out
-over worker processes and reuse cached records.
+executed through the campaign runner.  The result is a flat table (one
+:data:`FIGURE6` row per benchmark x configuration) whose ``normalized``
+column is derived through :meth:`ResultSet.overhead_vs` against the native
+baseline -- the same query that ``repro-campaign query --table figure6``
+runs over a cached store.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.reporting import format_table
 from repro.campaign.runner import CampaignResult, run_campaign
 from repro.campaign.store import ResultsStore
+from repro.results.query import ResultSet
+from repro.results.tables import Column, Row, TableSchema, pivot_rows, register_table
 from repro.scenarios.build import to_network_spec
 from repro.scenarios.spec import (
     ClusteringSpec,
@@ -37,34 +40,48 @@ from repro.simulator.network import NetworkModel
 from repro.workloads.nas import NAS_BENCHMARKS
 
 
-@dataclass
-class OverheadRow:
-    """Normalized execution times of one benchmark (one group of Figure 6 bars)."""
+def _rows_from_store(resultset: ResultSet) -> List[Row]:
+    runs = resultset.where(**{"tags.experiment": "figure6"})
+    return [
+        FIGURE6.row(
+            benchmark=run.field("tags.benchmark"),
+            nprocs=run.field("workload.nprocs"),
+            iterations=run.field("workload.iterations"),
+            config=run.field("tags.config"),
+            makespan_s=run.metric("sim.makespan"),
+            normalized=ratio,
+            logged_fraction=run.metric("sim.logged_fraction_bytes"),
+        )
+        for run, ratio in runs.overhead_vs(
+            metric="sim.makespan",
+            # The baseline index carries the workload shape so a store
+            # holding figure6 sweeps at several sizes normalises each run
+            # against the native run of *its own* sweep.
+            index=("tags.benchmark", "workload.nprocs", "workload.iterations"),
+            **{"tags.config": "native"},
+        )
+    ]
 
-    benchmark: str
-    nprocs: int
-    iterations: int
-    makespans_s: Dict[str, float] = field(default_factory=dict)
-    logged_fraction: Dict[str, float] = field(default_factory=dict)
 
-    def normalized(self, config: str) -> float:
-        native = self.makespans_s.get("native", 0.0)
-        if native <= 0:
-            return 0.0
-        return self.makespans_s[config] / native
-
-    def as_dict(self) -> Dict[str, object]:
-        out: Dict[str, object] = {
-            "benchmark": self.benchmark.upper(),
-            "nprocs": self.nprocs,
-            "iterations": self.iterations,
-        }
-        for name in self.makespans_s:
-            out[f"{name}_normalized"] = round(self.normalized(name), 5)
-            out[f"{name}_makespan_s"] = self.makespans_s[name]
-        for name, fraction in self.logged_fraction.items():
-            out[f"{name}_logged_pct"] = round(100.0 * fraction, 2)
-        return out
+#: One Figure 6 bar: a benchmark under one protocol configuration.
+FIGURE6 = register_table(
+    TableSchema(
+        "figure6",
+        columns=(
+            Column("benchmark", "str", header="bench", display=str.upper),
+            Column("nprocs", "int"),
+            Column("iterations", "int"),
+            Column("config", "str"),
+            Column("makespan_s", "float", units="s", scale=1e3, format=".3f",
+                   header="makespan_ms"),
+            Column("normalized", "float", format=".4f"),
+            Column("logged_fraction", "float", units="ratio", scale=100.0,
+                   format=".1f", header="logged %"),
+        ),
+        title="Figure 6 -- NAS failure-free execution time normalized to native MPICH2",
+    ),
+    builder=_rows_from_store,
+)
 
 
 def overhead_specs(
@@ -111,23 +128,9 @@ def overhead_specs(
     ]
 
 
-def rows_from_campaign(outcome: CampaignResult) -> List[OverheadRow]:
-    """Group Figure 6 campaign records back into per-benchmark rows."""
-    rows: Dict[str, OverheadRow] = {}
-    for spec, record in zip(outcome.specs, outcome.records):
-        benchmark = spec.tags["benchmark"]
-        config = spec.tags["config"]
-        row = rows.get(benchmark)
-        if row is None:
-            row = rows[benchmark] = OverheadRow(
-                benchmark=benchmark,
-                nprocs=spec.workload.nprocs,
-                iterations=spec.workload.iterations,
-            )
-        result = record["result"]
-        row.makespans_s[config] = result["makespan"]
-        row.logged_fraction[config] = result["stats"]["logged_fraction_bytes"]
-    return list(rows.values())
+def rows_from_campaign(outcome: CampaignResult) -> List[Row]:
+    """Derive the Figure 6 rows from a campaign outcome."""
+    return _rows_from_store(ResultSet.from_campaign(outcome))
 
 
 def measure_overhead(
@@ -140,8 +143,8 @@ def measure_overhead(
     message_scale: float = 1.0,
     workers: int = 1,
     store: Optional[ResultsStore] = None,
-) -> OverheadRow:
-    """Measure the Figure 6 configurations for one benchmark."""
+) -> List[Row]:
+    """Measure the Figure 6 configurations for one benchmark (one row each)."""
     specs = overhead_specs(
         benchmark,
         nprocs=nprocs,
@@ -152,7 +155,7 @@ def measure_overhead(
         message_scale=message_scale,
     )
     outcome = run_campaign(specs, workers=workers, store=store)
-    return rows_from_campaign(outcome)[0]
+    return rows_from_campaign(outcome)
 
 
 def build_figure6(
@@ -163,8 +166,8 @@ def build_figure6(
     include_hybrid_event_logging: bool = False,
     workers: int = 1,
     store: Optional[ResultsStore] = None,
-) -> List[OverheadRow]:
-    """Measure every Figure 6 group of bars (one campaign over the grid)."""
+) -> List[Row]:
+    """Measure every Figure 6 bar (one campaign over the whole grid)."""
     benchmarks = list(benchmarks) if benchmarks is not None else list(NAS_BENCHMARKS)
     specs: List[ScenarioSpec] = []
     for name in benchmarks:
@@ -178,24 +181,42 @@ def build_figure6(
             )
         )
     outcome = run_campaign(specs, workers=workers, store=store)
-    rows = rows_from_campaign(outcome)
-    order = {name: idx for idx, name in enumerate(benchmarks)}
-    rows.sort(key=lambda row: order[row.benchmark])
-    return rows
+    return rows_from_campaign(outcome)
 
 
-def render_figure6(rows: Sequence[OverheadRow]) -> str:
-    configs = [c for c in rows[0].makespans_s] if rows else []
-    headers = ["bench", "nprocs"] + [f"{c} (norm.)" for c in configs] + ["hydee logged %"]
-    data = []
+def by_config(rows: Sequence[Row], benchmark: Optional[str] = None) -> Dict[str, Row]:
+    """Index rows by configuration (optionally restricted to one benchmark)."""
+    return {
+        row.config: row
+        for row in rows
+        if benchmark is None or row.benchmark == benchmark
+    }
+
+
+def render_figure6(rows: Sequence[Row]) -> str:
+    """Per-benchmark view: one line per benchmark, one column per config."""
+    from repro.analysis.reporting import format_dict_table
+
+    configs: List[str] = []
     for row in rows:
-        data.append(
-            [row.benchmark.upper(), row.nprocs]
-            + [round(row.normalized(c), 4) for c in configs]
-            + [round(100.0 * row.logged_fraction.get("hydee", 0.0), 1)]
+        if row.config not in configs:
+            configs.append(row.config)
+    normalized = {
+        (r["benchmark"], r["config"]): r for r in rows
+    }
+    pivoted = pivot_rows(rows, index="benchmark", columns="config", values="normalized")
+    display = []
+    for entry in pivoted:
+        bench = entry["benchmark"]
+        out = {"bench": str(bench).upper()}
+        any_row = next(r for r in rows if r.benchmark == bench)
+        out["nprocs"] = any_row.nprocs
+        for config in configs:
+            out[f"{config} (norm.)"] = round(entry.get(config, 0.0), 4)
+        hydee = normalized.get((bench, "hydee"))
+        out["hydee logged %"] = (
+            round(100.0 * hydee.logged_fraction, 1) if hydee is not None else "-"
         )
-    return format_table(
-        headers,
-        data,
-        title="Figure 6 -- NAS failure-free execution time normalized to native MPICH2",
-    )
+        display.append(out)
+    columns = ["bench", "nprocs"] + [f"{c} (norm.)" for c in configs] + ["hydee logged %"]
+    return format_dict_table(display, columns=columns, title=FIGURE6.title)

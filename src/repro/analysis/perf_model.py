@@ -183,6 +183,7 @@ def piggyback_policy_job(spec):
     Imported lazily by the campaign job registry.
     """
     from repro.campaign.jobs import jsonify
+    from repro.results.run import make_payload
     from repro.scenarios.build import build_network
 
     sizes = list(spec.workload.params.get("sizes") or netpipe_sizes(1 << 20))
@@ -190,4 +191,4 @@ def piggyback_policy_job(spec):
     rows = piggyback_policy_rows(
         build_network(spec), sizes, piggyback_bytes=piggyback_bytes
     )
-    return {"rows": jsonify(rows)}, rows
+    return jsonify(make_payload("completed", None, {"rows": rows})), rows

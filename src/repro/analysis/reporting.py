@@ -8,7 +8,7 @@ as text.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Any, Iterable, List, Mapping, Optional, Sequence
 
 
 def format_value(value: Any) -> str:

@@ -15,54 +15,84 @@ the ``table1-row`` analysis and executed through the campaign runner (the
 cluster-count frontier sweep of ablation E6 is the ``cluster-sweep``
 analysis in the same fashion), so whole-table builds parallelise and cache
 like any other campaign.
+
+Rows follow the registered :data:`TABLE1` / :data:`CLUSTER_SWEEP` schemas
+(:mod:`repro.results.tables`): ``repro-campaign query STORE --table table1``
+rebuilds the printed table from any cached store.
 """
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.analysis.reporting import format_table
+from repro.campaign.runner import run_campaign
+from repro.campaign.store import ResultsStore
 from repro.clustering.comm_graph import CommunicationGraph
 from repro.clustering.metrics import ClusteringMetrics
 from repro.clustering.partitioner import ClusteringResult, partition, sweep_cluster_counts
 from repro.clustering.presets import TABLE1_CLUSTER_COUNTS, TABLE1_PAPER_VALUES
 from repro.campaign.jobs import jsonify
-from repro.campaign.runner import run_campaign
-from repro.campaign.store import ResultsStore
+from repro.results.metrics import MetricSet
+from repro.results.query import ResultSet
+from repro.results.run import make_payload
+from repro.results.tables import Column, Row, TableSchema, register_table
 from repro.scenarios.build import build_application
 from repro.scenarios.spec import ClusteringSpec, ProtocolSpec, ScenarioSpec, WorkloadSpec
 from repro.workloads.nas import NAS_BENCHMARKS
 
 
-@dataclass
-class Table1Row:
-    """One benchmark's clustering configuration (one row of Table I)."""
+def _rows_from_store(resultset: ResultSet) -> List[Row]:
+    return [
+        TABLE1.from_mapping(run.data["row"])
+        for run in resultset.where(analysis="table1-row")
+    ]
 
-    benchmark: str
-    num_clusters: int
-    rollback_pct: float
-    logged_gb: float
-    total_gb: float
-    logged_pct: float
-    method: str
-    paper: Dict[str, float]
-    clusters: List[List[int]]
 
-    def as_dict(self) -> Dict[str, object]:
-        return {
-            "benchmark": self.benchmark.upper(),
-            "clusters": self.num_clusters,
-            "rollback_pct": round(self.rollback_pct, 2),
-            "paper_rollback_pct": self.paper["rollback_pct"],
-            "logged_pct": round(self.logged_pct, 2),
-            "paper_logged_pct": self.paper["logged_pct"],
-            "logged_gb": round(self.logged_gb, 1),
-            "total_gb": round(self.total_gb, 1),
-            "paper_logged_gb": self.paper["logged_gb"],
-            "paper_total_gb": self.paper["total_gb"],
-            "method": self.method,
-        }
+def _sweep_rows_from_store(resultset: ResultSet) -> List[Row]:
+    return [
+        CLUSTER_SWEEP.from_mapping(row)
+        for run in resultset.where(analysis="cluster-sweep")
+        for row in run.data["rows"]
+    ]
+
+
+#: One row of Table I (measured next to the paper's reference values).
+TABLE1 = register_table(
+    TableSchema(
+        "table1",
+        columns=(
+            Column("benchmark", "str", header="bench", display=str.upper),
+            Column("num_clusters", "int", header="clusters"),
+            Column("rollback_pct", "float", units="%", format=".2f", header="rollback %"),
+            Column("paper_rollback_pct", "float", units="%", optional=True, header="paper %"),
+            Column("logged_pct", "float", units="%", format=".2f", header="logged %"),
+            Column("paper_logged_pct", "float", units="%", optional=True, header="paper %"),
+            Column("logged_gb", "float", units="GB", format=".1f", header="logged GB"),
+            Column("total_gb", "float", units="GB", format=".1f", header="total GB"),
+            Column("paper_logged_gb", "float", units="GB", optional=True, header="paper log GB"),
+            Column("paper_total_gb", "float", units="GB", optional=True, header="paper total GB"),
+            Column("method", "str"),
+        ),
+        title="Table I -- application clustering on 256 processes (measured vs paper)",
+    ),
+    builder=_rows_from_store,
+)
+
+#: The cluster-count frontier of ablation E6 (rollback vs logged volume).
+CLUSTER_SWEEP = register_table(
+    TableSchema(
+        "cluster-sweep",
+        columns=(
+            Column("clusters", "int"),
+            Column("rollback_pct", "float", units="%"),
+            Column("logged_pct", "float", units="%"),
+            Column("logged_gb", "float", units="GB"),
+            Column("method", "str"),
+        ),
+        title="Cluster-count sweep (rollback vs logged volume)",
+    ),
+    builder=_sweep_rows_from_store,
+)
 
 
 # ------------------------------------------------------------ scenario layer
@@ -108,12 +138,14 @@ def cluster_sweep_spec(
     )
 
 
+# ------------------------------------------------------------------- compute
 def _compute_row(
     benchmark: str,
     nprocs: int,
     num_clusters: Optional[int],
     balance_tolerance: float,
-) -> Table1Row:
+) -> Tuple[Row, List[List[int]]]:
+    """One Table I row plus the cluster membership lists (provenance)."""
     name = benchmark.lower()
     app = build_application(WorkloadSpec(kind=name, nprocs=nprocs, iterations=1))
     graph = CommunicationGraph.from_matrix(app.full_run_matrix())
@@ -123,32 +155,41 @@ def _compute_row(
     )
     metrics: ClusteringMetrics = result.metrics
     paper = TABLE1_PAPER_VALUES.get(name, {})
-    return Table1Row(
+    row = TABLE1.row(
         benchmark=name,
         num_clusters=metrics.num_clusters,
         rollback_pct=100.0 * metrics.rollback_fraction,
+        paper_rollback_pct=paper.get("rollback_pct"),
+        logged_pct=100.0 * metrics.logged_fraction,
+        paper_logged_pct=paper.get("logged_pct"),
         logged_gb=metrics.logged_bytes / 1e9,
         total_gb=metrics.total_bytes / 1e9,
-        logged_pct=100.0 * metrics.logged_fraction,
+        paper_logged_gb=paper.get("logged_gb"),
+        paper_total_gb=paper.get("total_gb"),
         method=result.method,
-        paper=paper,
-        clusters=result.clusters,
     )
+    return row, result.clusters
 
 
-def table1_job(spec: ScenarioSpec) -> Tuple[Dict[str, Any], Table1Row]:
+def table1_job(spec: ScenarioSpec) -> Tuple[Dict[str, Any], Row]:
     """Campaign job computing one Table I row from its scenario spec."""
     clustering = spec.protocol.clustering
-    row = _compute_row(
+    row, membership = _compute_row(
         spec.workload.kind,
         spec.workload.nprocs,
         clustering.num_clusters,
         clustering.balance_tolerance,
     )
-    return jsonify(asdict(row)), row
+    metrics = MetricSet()
+    for key in ("num_clusters", "rollback_pct", "logged_pct", "logged_gb", "total_gb"):
+        metrics.set(f"clustering.{key}", row[key])
+    payload = make_payload(
+        "completed", metrics, {"row": row.to_dict(), "membership": membership}
+    )
+    return jsonify(payload), row
 
 
-def cluster_sweep_job(spec: ScenarioSpec) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+def cluster_sweep_job(spec: ScenarioSpec) -> Tuple[Dict[str, Any], List[Row]]:
     """Campaign job sweeping the cluster count of one benchmark (E6)."""
     counts = [k for k in spec.tags["counts"] if k <= spec.workload.nprocs]
     app = build_application(spec.workload)
@@ -157,32 +198,31 @@ def cluster_sweep_job(spec: ScenarioSpec) -> Tuple[Dict[str, Any], List[Dict[str
     for result in sweep_cluster_counts(graph, counts):
         metrics = result.metrics
         rows.append(
-            {
-                "clusters": metrics.num_clusters,
-                "rollback_pct": round(100.0 * metrics.rollback_fraction, 2),
-                "logged_pct": round(100.0 * metrics.logged_fraction, 2),
-                "logged_gb": round(metrics.logged_bytes / 1e9, 1),
-                "method": result.method,
-            }
+            CLUSTER_SWEEP.row(
+                clusters=metrics.num_clusters,
+                rollback_pct=round(100.0 * metrics.rollback_fraction, 2),
+                logged_pct=round(100.0 * metrics.logged_fraction, 2),
+                logged_gb=round(metrics.logged_bytes / 1e9, 1),
+                method=result.method,
+            )
         )
-    return {"rows": jsonify(rows)}, rows
-
-
-def row_from_record(record: Mapping[str, Any]) -> Table1Row:
-    """Rebuild a :class:`Table1Row` from a (possibly cached) campaign record."""
-    payload = dict(record["result"])
-    payload["clusters"] = [list(c) for c in payload["clusters"]]
-    return Table1Row(**payload)
+    payload = make_payload("completed", None, {"rows": [r.to_dict() for r in rows]})
+    return jsonify(payload), rows
 
 
 # ----------------------------------------------------------------- harnesses
+def rows_from_campaign(outcome) -> List[Row]:
+    """Rebuild the Table I rows from a campaign outcome (cached or fresh)."""
+    return _rows_from_store(ResultSet.from_campaign(outcome))
+
+
 def table1_row(
     benchmark: str,
     nprocs: int = 256,
     num_clusters: Optional[int] = None,
     balance_tolerance: float = 1.1,
     store: Optional[ResultsStore] = None,
-) -> Table1Row:
+) -> Row:
     """Compute one Table I row."""
     spec = table1_spec(
         benchmark,
@@ -191,7 +231,7 @@ def table1_row(
         balance_tolerance=balance_tolerance,
     )
     outcome = run_campaign([spec], store=store)
-    return row_from_record(outcome.records[0])
+    return rows_from_campaign(outcome)[0]
 
 
 def build_table1(
@@ -200,7 +240,7 @@ def build_table1(
     balance_tolerance: float = 1.1,
     workers: int = 1,
     store: Optional[ResultsStore] = None,
-) -> List[Table1Row]:
+) -> List[Row]:
     """Compute every row of Table I (one campaign over the benchmarks)."""
     benchmarks = list(benchmarks) if benchmarks is not None else list(NAS_BENCHMARKS)
     specs = [
@@ -208,39 +248,8 @@ def build_table1(
         for name in benchmarks
     ]
     outcome = run_campaign(specs, workers=workers, store=store)
-    return [row_from_record(record) for record in outcome.records]
+    return rows_from_campaign(outcome)
 
 
-def render_table1(rows: Sequence[Table1Row]) -> str:
-    headers = [
-        "bench",
-        "clusters",
-        "rollback %",
-        "paper %",
-        "logged %",
-        "paper %",
-        "logged GB",
-        "total GB",
-        "paper GB (log/total)",
-    ]
-    data = []
-    for row in rows:
-        d = row.as_dict()
-        data.append(
-            [
-                d["benchmark"],
-                d["clusters"],
-                d["rollback_pct"],
-                d["paper_rollback_pct"],
-                d["logged_pct"],
-                d["paper_logged_pct"],
-                d["logged_gb"],
-                d["total_gb"],
-                f"{d['paper_logged_gb']:.0f}/{d['paper_total_gb']:.0f}",
-            ]
-        )
-    return format_table(
-        headers,
-        data,
-        title=f"Table I -- application clustering on {256} processes (measured vs paper)",
-    )
+def render_table1(rows: Sequence[Row]) -> str:
+    return TABLE1.render_text(rows)

@@ -13,6 +13,17 @@ Subcommands
 ``list SPECFILE``
     Show the scenarios and their cache hashes without running anything.
 
+``query STORE [STORE...]``
+    Query cached results without re-running anything.  Version-1 stores are
+    migrated transparently on load (pass ``--migrate`` to rewrite them as
+    version 2 on disk)::
+
+        repro-campaign query results.json --table table1
+        repro-campaign query results.json --where protocol=hydee \\
+            --select tags.benchmark sim.makespan
+        repro-campaign query results.json \\
+            --pivot tags.oversubscription tags.protocol sim.makespan
+
 ``demo``
     Write an example sweep (stencil/ring x protocol grid) to a spec file to
     get started::
@@ -25,7 +36,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.campaign.runner import run_campaign
 from repro.campaign.store import ResultsStore
@@ -85,10 +96,39 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
     list_parser = sub.add_parser("list", help="list the scenarios in a spec file")
     list_parser.add_argument("specfile")
 
+    query_parser = sub.add_parser(
+        "query", help="query cached results stores (auto-migrates v1 files)"
+    )
+    query_parser.add_argument("stores", nargs="*",
+                              help="one or more results-store JSON files "
+                                   "(optional with --list-tables)")
+    query_parser.add_argument("--where", action="append", default=[],
+                              metavar="PATH=VALUE",
+                              help="filter on a spec field / tag / metric "
+                                   "(repeatable; e.g. protocol=hydee, "
+                                   "tags.benchmark=cg, sim.ranks_rolled_back=4)")
+    query_parser.add_argument("--select", nargs="+", default=None, metavar="PATH",
+                              help="print these dotted-path fields, one row per run")
+    query_parser.add_argument("--table", default=None,
+                              help="rebuild a registered analysis table "
+                                   "(see --list-tables)")
+    query_parser.add_argument("--pivot", nargs=3, default=None,
+                              metavar=("INDEX", "COLUMN", "VALUE"),
+                              help="pivot runs: INDEX rows x COLUMN columns of VALUE")
+    query_parser.add_argument("--format", choices=("text", "csv", "json"),
+                              default="text", dest="fmt")
+    query_parser.add_argument("--list-tables", action="store_true",
+                              help="list the registered table schemas and exit")
+    query_parser.add_argument("--migrate", action="store_true",
+                              help="rewrite loaded v1 stores as version 2 in place")
+
     demo_parser = sub.add_parser("demo", help="write an example spec file")
     demo_parser.add_argument("--out", default="campaign-specs.json")
 
     args = parser.parse_args(argv)
+
+    if args.command == "query":
+        return _query(args)
 
     if args.command == "demo":
         specs = _demo_specs()
@@ -117,6 +157,98 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
     if args.store:
         print(f"results store: {args.store} ({len(store)} records)")
     return 0
+
+
+def _parse_filters(pairs: Sequence[str]) -> Dict[str, Any]:
+    filters: Dict[str, Any] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise ReproError(f"--where expects PATH=VALUE, got {pair!r}")
+        path, _, raw = pair.partition("=")
+        try:
+            filters[path] = json.loads(raw)
+        except json.JSONDecodeError:
+            filters[path] = raw
+    return filters
+
+
+def _query(args: argparse.Namespace) -> int:
+    # Importing the analysis package registers every table schema.
+    import repro.analysis  # noqa: F401
+    from repro.results.tables import available_tables, build_table, get_table
+
+    if args.list_tables:
+        for name in available_tables():
+            registered = get_table(name)
+            derivable = "" if registered.builder is not None else "  (live-only)"
+            print(f"{name:16s} {registered.schema.title}{derivable}")
+        return 0
+    if not args.stores:
+        raise ReproError("query needs at least one results-store file")
+
+    # A missing path means a fresh cache for `run --store`, but for a query
+    # it can only be a typo: fail instead of reporting an empty store.
+    import os
+
+    for path in args.stores:
+        if not os.path.exists(path):
+            raise ReproError(f"results store {path!r} does not exist")
+    stores = [ResultsStore(path) for path in args.stores]
+    for store in stores:
+        if args.migrate and store.migrated:
+            store.save()
+            print(f"migrated {store.path} to store version 2", file=sys.stderr)
+
+    from repro.results.query import ResultSet
+
+    resultset = ResultSet.from_store(*stores).where(**_parse_filters(args.where))
+
+    if args.table:
+        schema, rows = build_table(args.table, resultset)
+        print(schema.render(rows, fmt=args.fmt))
+        return 0
+
+    if args.pivot:
+        index, column, value = args.pivot
+        rows = resultset.pivot(index, column, value)
+        _print_plain_rows(rows, fmt=args.fmt)
+        return 0
+
+    if args.select:
+        rows = [
+            dict(zip(args.select, values))
+            for values in resultset.select(*args.select)
+        ]
+        _print_plain_rows(rows, fmt=args.fmt)
+        return 0
+
+    rows = resultset.summary_rows()
+    _print_plain_rows(rows, fmt=args.fmt,
+                      title=f"{len(resultset)} cached runs")
+    return 0
+
+
+def _print_plain_rows(rows: List[Dict[str, Any]], fmt: str = "text",
+                      title: Optional[str] = None) -> None:
+    from repro.analysis.reporting import format_dict_table
+
+    if fmt == "json":
+        json.dump(rows, sys.stdout, indent=1, sort_keys=False)
+        print()
+        return
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    if fmt == "csv":
+        import csv
+
+        writer = csv.DictWriter(sys.stdout, fieldnames=columns, lineterminator="\n")
+        writer.writeheader()
+        writer.writerows(rows)
+        return
+    print(format_dict_table(rows, columns=columns, title=title))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -29,6 +29,7 @@ from typing import Any, Callable, Dict, Mapping, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.results.run import make_payload
 from repro.scenarios.build import build
 from repro.scenarios.spec import ScenarioSpec
 
@@ -102,13 +103,18 @@ def jsonify(obj: Any) -> Any:
 
 # ----------------------------------------------------------------- simulate
 def simulate(spec: ScenarioSpec) -> JobOutcome:
-    """The default job: build the scenario's simulation and run it."""
+    """The default job: build the scenario's simulation and run it.
+
+    The payload is a v2 result section: the run's namespaced metric tree
+    plus the per-rank outcomes under ``data`` (see :mod:`repro.results`).
+    """
     result = build(spec).run()
-    payload = {
-        "status": result.status,
-        "makespan": result.makespan,
-        "stats": jsonify(result.stats.as_dict()),
-        "rank_states": jsonify(result.rank_states),
-        "rank_results": jsonify(result.rank_results),
-    }
-    return payload, result
+    payload = make_payload(
+        result.status,
+        result.metrics,
+        {
+            "rank_results": result.rank_results,
+            "rank_states": result.rank_states,
+        },
+    )
+    return jsonify(payload), result

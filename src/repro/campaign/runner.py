@@ -57,26 +57,34 @@ class CampaignResult:
     workers: int = 1
     extra: Dict[str, Any] = field(default_factory=dict)
 
+    def results(self) -> "Any":
+        """The records as a queryable :class:`~repro.results.query.ResultSet`."""
+        from repro.results.query import ResultSet
+
+        return ResultSet.from_campaign(self)
+
     def summary_table(self, title: Optional[str] = None) -> str:
         # Imported lazily: the analysis package itself builds on the campaign
         # runner, so a module-level import would be circular.
         from repro.analysis.reporting import format_dict_table
+        from repro.results.run import RunResult
 
         rows = []
         for spec, record in zip(self.specs, self.records):
-            result = record.get("result", {})
+            run = RunResult.from_record(record, strict=False)
+            makespan = run.metric("sim.makespan")
             rows.append(
                 {
-                    "name": record["name"],
+                    "name": run.name,
                     "scenario": spec.describe(),
-                    "analysis": record["analysis"],
-                    "status": result.get("status", "-"),
+                    "analysis": run.analysis,
+                    "status": run.status,
                     "makespan_ms": (
-                        round(result["makespan"] * 1e3, 3)
-                        if isinstance(result.get("makespan"), (int, float))
+                        round(makespan * 1e3, 3)
+                        if isinstance(makespan, (int, float))
                         else "-"
                     ),
-                    "hash": record["spec_hash"],
+                    "hash": run.spec_hash,
                 }
             )
         return format_dict_table(

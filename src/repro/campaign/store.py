@@ -5,6 +5,13 @@ scenario's job.  Records are pure JSON (see
 :func:`repro.campaign.jobs.jsonify`); the file is written with sorted keys
 so two campaigns that computed the same records produce byte-identical
 files regardless of execution order or worker count.
+
+The on-disk format is versioned.  Version 2 (current) stores every record
+with a ``{"status", "metrics", "data"}`` result section (see
+:mod:`repro.results`); version-1 files are migrated in memory on load --
+record by record, spec hashes untouched -- and written back as version 2 on
+the next :meth:`ResultsStore.save`.  Unknown versions are rejected with a
+clear error instead of being silently misread.
 """
 
 from __future__ import annotations
@@ -14,7 +21,9 @@ import os
 import tempfile
 from typing import Any, Dict, Iterator, Optional
 
-STORE_VERSION = 1
+from repro.results.migrate import migrate_record
+
+STORE_VERSION = 2
 
 
 class ResultsStore:
@@ -23,6 +32,8 @@ class ResultsStore:
     def __init__(self, path: Optional[str] = None) -> None:
         self.path = path
         self._records: Dict[str, Dict[str, Any]] = {}
+        #: version the file had on disk (None for fresh/in-memory stores).
+        self.loaded_version: Optional[int] = None
         if path is not None and os.path.exists(path):
             self._load()
 
@@ -32,7 +43,25 @@ class ResultsStore:
             data = json.load(fh)
         if not isinstance(data, dict) or "records" not in data:
             raise ValueError(f"{self.path}: not a campaign results store")
-        self._records = dict(data["records"])
+        version = data.get("version", 1)
+        if version == STORE_VERSION:
+            self._records = dict(data["records"])
+        elif version == 1:
+            self._records = {
+                spec_hash: migrate_record(record)
+                for spec_hash, record in data["records"].items()
+            }
+        else:
+            raise ValueError(
+                f"{self.path}: unsupported results-store version {version!r}; "
+                f"this build reads versions 1 (migrated in place) and {STORE_VERSION}"
+            )
+        self.loaded_version = version
+
+    @property
+    def migrated(self) -> bool:
+        """Did loading this store run the v1 -> v2 migration?"""
+        return self.loaded_version is not None and self.loaded_version < STORE_VERSION
 
     def save(self) -> None:
         """Write the store atomically (no-op for in-memory stores)."""

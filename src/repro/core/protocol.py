@@ -44,7 +44,7 @@ Our ``Rollback`` notification therefore carries both values.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Set
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional
 
 from repro.core.config import HydEEConfig
 from repro.core.phase import INITIAL_PHASE
@@ -58,7 +58,12 @@ from repro.errors import ConfigurationError, ProtocolError
 from repro.ftprotocols.base import ClusteredProtocolBase
 from repro.simulator.engine import Condition
 from repro.simulator.messages import Message
-from repro.simulator.protocol_api import RECOVERY_PROCESS, ControlMessage, SendDecision
+from repro.simulator.protocol_api import (
+    RECOVERY_PROCESS,
+    ControlMessage,
+    SendDecision,
+    add_metric,
+)
 from repro.simulator.stable_storage import CheckpointRecord
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -468,15 +473,15 @@ class HydEEProtocol(ClusteredProtocolBase):
     def date_of(self, rank: int) -> int:
         return self.states[rank].clock.date
 
-    def describe(self) -> Dict[str, Any]:
-        info = super().describe()
-        info.update(
-            {
-                "log_all_messages": self.config.log_all_messages,
-                "piggyback_policy": self.config.piggyback_policy.value,
-                "piggyback_bytes": self.config.piggyback_bytes,
-                "log_memory_bytes": sum(self.memory_usage_bytes().values()),
-                "recoveries": len(self.recovery_reports),
-            }
-        )
+    def extra_metrics(self) -> Dict[str, Any]:
+        info = super().extra_metrics()
+        add_metric(info, "log_all_messages", self.config.log_all_messages)
+        add_metric(info, "piggyback_policy", self.config.piggyback_policy.value)
+        # Not "piggyback_bytes": that name is the ProtocolStatistics traffic
+        # counter; this is the configured per-message piggyback size.
+        add_metric(info, "configured_piggyback_bytes", self.config.piggyback_bytes)
+        add_metric(info, "log_memory_bytes", sum(self.memory_usage_bytes().values()))
+        # Not "recoveries": that name belongs to the ProtocolStatistics
+        # counter, which the old pstats_ prefix used to hide the collision.
+        add_metric(info, "recovery_reports", len(self.recovery_reports))
         return info

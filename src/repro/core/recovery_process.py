@@ -28,8 +28,8 @@ accounting.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional, Set, Tuple
 
 from repro.errors import ProtocolError
 

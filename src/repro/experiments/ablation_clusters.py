@@ -13,12 +13,12 @@ campaign runner.
 from __future__ import annotations
 
 import argparse
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
-from repro.analysis.reporting import format_table
-from repro.analysis.table1 import cluster_sweep_spec
+from repro.analysis.table1 import CLUSTER_SWEEP, cluster_sweep_spec
 from repro.campaign.runner import run_campaign
 from repro.campaign.store import ResultsStore
+from repro.results.tables import Row
 from repro.workloads.nas import NAS_BENCHMARKS
 
 
@@ -27,18 +27,16 @@ def run(
     nprocs: int = 256,
     counts: Optional[Sequence[int]] = None,
     store: Optional[ResultsStore] = None,
-) -> List[Dict[str, float]]:
+) -> List[Row]:
     counts = list(counts) if counts is not None else [2, 4, 8, 16, 32]
     spec = cluster_sweep_spec(benchmark, nprocs=nprocs, counts=counts)
     outcome = run_campaign([spec], store=store)
-    return outcome.records[0]["result"]["rows"]
+    return CLUSTER_SWEEP.rows(outcome.results().one().data["rows"])
 
 
-def render(benchmark: str, rows: Sequence[Dict[str, float]]) -> str:
-    columns = ["clusters", "rollback_pct", "logged_pct", "logged_gb", "method"]
-    data = [[row[c] for c in columns] for row in rows]
-    return format_table(
-        columns, data,
+def render(benchmark: str, rows: Sequence[Row]) -> str:
+    return CLUSTER_SWEEP.render_text(
+        rows,
         title=f"Cluster-count sweep for {benchmark.upper()} (rollback vs logged volume)",
     )
 

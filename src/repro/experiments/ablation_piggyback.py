@@ -53,7 +53,7 @@ def run(
     """Overhead (in % of the native one-way time) per policy and per size."""
     spec = piggyback_spec(sizes=sizes, network=network, piggyback_bytes=piggyback_bytes)
     outcome = run_campaign([spec], store=store)
-    return outcome.records[0]["result"]["rows"]
+    return outcome.results().one().data["rows"]
 
 
 def render(rows: Sequence[Dict[str, float]]) -> str:

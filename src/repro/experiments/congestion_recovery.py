@@ -19,11 +19,11 @@ import argparse
 from typing import List, Optional, Sequence
 
 from repro.analysis.congestion import (
-    CongestionRow,
     recovery_divergence,
     render_congestion,
     run_congestion_experiment,
 )
+from repro.results.tables import Row
 from repro.campaign.store import ResultsStore
 
 
@@ -39,7 +39,7 @@ def run(
     ranks_per_node: int = 4,
     workers: int = 1,
     store: Optional[ResultsStore] = None,
-) -> List[CongestionRow]:
+) -> List[Row]:
     return run_congestion_experiment(
         nprocs=nprocs,
         iterations=iterations,

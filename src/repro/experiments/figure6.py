@@ -10,7 +10,8 @@ from __future__ import annotations
 import argparse
 from typing import List, Optional, Sequence
 
-from repro.analysis.overhead import OverheadRow, build_figure6, render_figure6
+from repro.analysis.overhead import build_figure6, render_figure6
+from repro.results.tables import Row
 from repro.campaign.store import ResultsStore
 from repro.clustering.presets import FIGURE6_PAPER_OVERHEAD
 
@@ -22,7 +23,7 @@ def run(
     include_hybrid_event_logging: bool = False,
     workers: int = 1,
     store: Optional[ResultsStore] = None,
-) -> List[OverheadRow]:
+) -> List[Row]:
     """Measure the normalized execution time of the Figure 6 configurations.
 
     The paper uses 256 processes; the default here is 64 so the experiment

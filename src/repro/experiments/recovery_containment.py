@@ -17,10 +17,10 @@ import argparse
 from typing import List, Optional, Sequence
 
 from repro.analysis.containment import (
-    ContainmentRow,
     render_containment,
     run_containment_experiment,
 )
+from repro.results.tables import Row
 
 
 def run(
@@ -31,7 +31,7 @@ def run(
     num_clusters: int = 4,
     checkpoint_interval: int = 2,
     workers: int = 1,
-) -> List[ContainmentRow]:
+) -> List[Row]:
     return run_containment_experiment(
         nprocs=nprocs,
         iterations=iterations,

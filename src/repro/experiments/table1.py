@@ -10,7 +10,8 @@ from __future__ import annotations
 import argparse
 from typing import List, Optional, Sequence
 
-from repro.analysis.table1 import Table1Row, build_table1, render_table1
+from repro.analysis.table1 import build_table1, render_table1
+from repro.results.tables import Row
 from repro.campaign.store import ResultsStore
 
 
@@ -20,7 +21,7 @@ def run(
     balance_tolerance: float = 1.1,
     workers: int = 1,
     store: Optional[ResultsStore] = None,
-) -> List[Table1Row]:
+) -> List[Row]:
     """Compute the Table I rows (analytic communication graphs + partitioner)."""
     return build_table1(benchmarks=benchmarks, nprocs=nprocs,
                         balance_tolerance=balance_tolerance,

@@ -22,13 +22,13 @@ message-logging baseline) is the special case of one cluster per rank.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ConfigurationError, ProtocolError
 from repro.simulator.engine import Condition
 from repro.simulator.ops import ComputeOp, WaitConditionOp
-from repro.simulator.protocol_api import ControlMessage, ProtocolHooks
+from repro.simulator.protocol_api import ControlMessage, ProtocolHooks, add_metric
 from repro.simulator.stable_storage import CheckpointRecord
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -321,14 +321,17 @@ class ClusteredProtocolBase(ProtocolHooks):
         )
 
     # ------------------------------------------------------------ accounting
-    def describe(self) -> Dict[str, Any]:
-        info = super().describe()
-        info.update(
-            {
-                "protocol": self.name,
-                "clusters": len(self.clusters),
-                "checkpoint_interval": self.checkpoint_interval,
-            }
-        )
-        info.update({f"pstats_{k}": v for k, v in self.pstats.as_dict().items()})
+    def extra_metrics(self) -> Dict[str, Any]:
+        """Cluster layout + the shared :class:`ProtocolStatistics` counters.
+
+        Counter names are published unprefixed (``protocol.logged_messages``
+        instead of the old ``pstats_logged_messages`` spillover); a subclass
+        publishing a name already claimed here raises
+        :class:`~repro.errors.ConfigurationError` via :func:`add_metric`.
+        """
+        info = dict(super().extra_metrics())
+        add_metric(info, "clusters", len(self.clusters))
+        add_metric(info, "checkpoint_interval", self.checkpoint_interval)
+        for key, value in self.pstats.as_dict().items():
+            add_metric(info, key, value)
         return info

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, Optional
 
 from repro.ftprotocols.base import ClusteredProtocolBase
+from repro.simulator.protocol_api import add_metric
 
 
 class CoordinatedCheckpointProtocol(ClusteredProtocolBase):
@@ -50,7 +51,7 @@ class CoordinatedCheckpointProtocol(ClusteredProtocolBase):
             }
         )
 
-    def describe(self) -> Dict[str, Any]:
-        info = super().describe()
-        info["rollback_events"] = list(self.rollback_events)
+    def extra_metrics(self) -> Dict[str, Any]:
+        info = super().extra_metrics()
+        add_metric(info, "rollback_events", list(self.rollback_events))
         return info

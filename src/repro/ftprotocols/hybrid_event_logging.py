@@ -24,6 +24,7 @@ from typing import Any, Dict, Optional
 from repro.core.config import HydEEConfig
 from repro.core.protocol import HydEEProtocol
 from repro.simulator.messages import Message
+from repro.simulator.protocol_api import add_metric
 
 
 class HybridEventLoggingProtocol(HydEEProtocol):
@@ -46,7 +47,7 @@ class HybridEventLoggingProtocol(HydEEProtocol):
         self.pstats.determinant_bytes += 24
         return overhead + self.determinant_latency_s
 
-    def describe(self) -> Dict[str, Any]:
-        info = super().describe()
-        info["determinant_latency_s"] = self.determinant_latency_s
+    def extra_metrics(self) -> Dict[str, Any]:
+        info = super().extra_metrics()
+        add_metric(info, "determinant_latency_s", self.determinant_latency_s)
         return info

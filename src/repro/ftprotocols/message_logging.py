@@ -28,13 +28,13 @@ the determinants would dictate; determinants are still counted and priced.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, Optional
 
 from repro.core.message_log import SenderLog
 from repro.errors import ProtocolError
 from repro.ftprotocols.base import ClusteredProtocolBase
 from repro.simulator.messages import Message
-from repro.simulator.protocol_api import SendDecision
+from repro.simulator.protocol_api import SendDecision, add_metric
 
 
 class _RankLogState:
@@ -193,12 +193,8 @@ class FullMessageLoggingProtocol(ClusteredProtocolBase):
     def memory_usage_bytes(self) -> Dict[int, int]:
         return {rank: st.log.current_bytes for rank, st in self.rank_state.items()}
 
-    def describe(self) -> Dict[str, Any]:
-        info = super().describe()
-        info.update(
-            {
-                "determinant_latency_s": self.determinant_latency_s,
-                "log_memory_bytes": sum(self.memory_usage_bytes().values()),
-            }
-        )
+    def extra_metrics(self) -> Dict[str, Any]:
+        info = super().extra_metrics()
+        add_metric(info, "determinant_latency_s", self.determinant_latency_s)
+        add_metric(info, "log_memory_bytes", sum(self.memory_usage_bytes().values()))
         return info

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable
 
 from repro.errors import ProtocolError
-from repro.simulator.protocol_api import ProtocolHooks
+from repro.simulator.protocol_api import ProtocolHooks, add_metric
 
 
 class NoFaultToleranceProtocol(ProtocolHooks):
@@ -32,7 +32,7 @@ class NoFaultToleranceProtocol(ProtocolHooks):
                 "runs without fault tolerance; the execution cannot continue"
             )
 
-    def describe(self) -> Dict[str, Any]:
-        info = super().describe()
-        info["failed_ranks"] = list(self.failed_ranks)
+    def extra_metrics(self) -> Dict[str, Any]:
+        info = dict(super().extra_metrics())
+        add_metric(info, "failed_ranks", list(self.failed_ranks))
         return info

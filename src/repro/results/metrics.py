@@ -1,0 +1,221 @@
+"""Namespaced metric trees: the schema layer of :mod:`repro.results`.
+
+A :class:`MetricSet` maps dotted paths (``sim.makespan``,
+``links.tiers.inter-cluster.wait_s``) to plain JSON values.  The top path
+segment is the namespace; the conventional ones are
+
+* ``sim.*``      -- substrate counters (:class:`~repro.simulator.statistics.
+  SimulationStatistics`),
+* ``protocol.*`` -- fault-tolerance protocol counters (the old ``pstats_``
+  prefix hack and ``describe()`` spillover, now collision-checked),
+* ``network.*``  -- topology description and aggregate contention,
+* ``links.*``    -- per-link / per-tier traffic of contended topologies.
+
+Setting a path twice, or setting a path that is both a leaf and a
+namespace, raises :class:`~repro.errors.ConfigurationError` -- duplicate
+metric names are a bug in the producer, not something to resolve silently.
+Mapping values are flattened into sub-paths, so ``to_tree()`` /
+``from_tree()`` round-trip exactly (the tree form is what campaign records
+store as JSON).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+_MISSING = object()
+
+#: Explicit units for metric paths that the suffix conventions below miss.
+METRIC_UNITS: Dict[str, str] = {
+    "sim.makespan": "s",
+    "sim.recovery_time": "s",
+}
+
+#: ``(suffix, unit)`` conventions applied to the last path segment.
+_SUFFIX_UNITS: Tuple[Tuple[str, str], ...] = (
+    ("_bytes", "B"),
+    ("bytes", "B"),
+    ("_s", "s"),
+    ("_pct", "%"),
+    ("_fraction", "ratio"),
+    ("_messages", "count"),
+    ("messages", "count"),
+)
+
+
+def units_for(path: str) -> Optional[str]:
+    """Best-effort units of a metric path (explicit table, then suffixes)."""
+    if path in METRIC_UNITS:
+        return METRIC_UNITS[path]
+    leaf = path.rsplit(".", 1)[-1]
+    for suffix, unit in _SUFFIX_UNITS:
+        if leaf.endswith(suffix):
+            return unit
+    return None
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One named metric value (with units resolved from the catalog)."""
+
+    path: str
+    value: Any
+    units: Optional[str] = None
+
+    @property
+    def namespace(self) -> str:
+        return self.path.split(".", 1)[0]
+
+
+def _validate_path(path: Any) -> str:
+    if not isinstance(path, str) or not path:
+        raise ConfigurationError(f"metric path must be a non-empty string, got {path!r}")
+    segments = path.split(".")
+    if any(not segment for segment in segments):
+        raise ConfigurationError(f"metric path {path!r} has an empty segment")
+    return path
+
+
+class MetricSet:
+    """A tree of metrics keyed by dotted path, with duplicate detection."""
+
+    __slots__ = ("_values", "_namespaces")
+
+    def __init__(self, values: Optional[Mapping[str, Any]] = None) -> None:
+        #: leaf path -> value
+        self._values: Dict[str, Any] = {}
+        #: every strict ancestor path of a stored leaf
+        self._namespaces: Dict[str, int] = {}
+        if values:
+            for path, value in values.items():
+                self.set(path, value)
+
+    # ------------------------------------------------------------- mutation
+    def set(self, path: str, value: Any) -> None:
+        """Store ``value`` under ``path``; mappings flatten into sub-paths.
+
+        Raises :class:`ConfigurationError` on a duplicate metric name or
+        when a path would be both a leaf and a namespace.
+        """
+        _validate_path(path)
+        if isinstance(value, Mapping):
+            if not value:
+                raise ConfigurationError(
+                    f"metric {path!r}: empty mappings cannot round-trip through the "
+                    "tree form; omit the metric or store a scalar"
+                )
+            for key, sub_value in value.items():
+                self.set(f"{path}.{key}", sub_value)
+            return
+        if path in self._values:
+            raise ConfigurationError(f"duplicate metric name {path!r}")
+        if path in self._namespaces:
+            raise ConfigurationError(
+                f"metric {path!r} is already a namespace (it has sub-metrics)"
+            )
+        ancestors = _ancestors(path)
+        for ancestor in ancestors:
+            if ancestor in self._values:
+                raise ConfigurationError(
+                    f"metric {path!r} conflicts with existing leaf metric {ancestor!r}"
+                )
+        for ancestor in ancestors:
+            self._namespaces[ancestor] = self._namespaces.get(ancestor, 0) + 1
+        self._values[path] = value
+
+    def merge(self, other: "MetricSet") -> None:
+        """Add every metric of ``other`` (duplicates raise)."""
+        for path, value in other.items():
+            self.set(path, value)
+
+    # -------------------------------------------------------------- access
+    def get(self, path: str, default: Any = None) -> Any:
+        """Leaf value, or the nested dict of a namespace, or ``default``."""
+        if path in self._values:
+            return self._values[path]
+        if path in self._namespaces:
+            return self.tree(path)
+        return default
+
+    def require(self, path: str) -> Any:
+        value = self.get(path, _MISSING)
+        if value is _MISSING:
+            raise ConfigurationError(
+                f"unknown metric {path!r}; available namespaces: "
+                f"{', '.join(sorted({p.split('.', 1)[0] for p in self._values}))}"
+            )
+        return value
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._values or path in self._namespaces
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._values))
+
+    def items(self) -> List[Tuple[str, Any]]:
+        """``(path, value)`` leaves in sorted path order (deterministic)."""
+        return sorted(self._values.items())
+
+    def metrics(self) -> List[Metric]:
+        """Leaves as :class:`Metric` objects with catalog units."""
+        return [Metric(path, value, units_for(path)) for path, value in self.items()]
+
+    def subset(self, namespace: str) -> "MetricSet":
+        """New :class:`MetricSet` with only the paths under ``namespace``."""
+        prefix = namespace + "."
+        out = MetricSet()
+        for path, value in self.items():
+            if path == namespace or path.startswith(prefix):
+                out.set(path, value)
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MetricSet):
+            return NotImplemented
+        return self._values == other._values
+
+    def __repr__(self) -> str:
+        return f"MetricSet({len(self._values)} metrics)"
+
+    # ---------------------------------------------------------------- json
+    def tree(self, root: Optional[str] = None) -> Dict[str, Any]:
+        """Nested-dict form (the JSON representation stored in records)."""
+        prefix = "" if root is None else root + "."
+        out: Dict[str, Any] = {}
+        for path, value in self.items():
+            if root is not None:
+                if not path.startswith(prefix):
+                    continue
+                path = path[len(prefix):]
+            node = out
+            segments = path.split(".")
+            for segment in segments[:-1]:
+                node = node.setdefault(segment, {})
+            node[segments[-1]] = value
+        return out
+
+    def to_tree(self) -> Dict[str, Any]:
+        return self.tree()
+
+    @classmethod
+    def from_tree(cls, tree: Mapping[str, Any]) -> "MetricSet":
+        """Inverse of :meth:`to_tree` (strict round-trip)."""
+        out = cls()
+        if tree:
+            out.set_tree(tree)
+        return out
+
+    def set_tree(self, tree: Mapping[str, Any]) -> None:
+        for key, value in tree.items():
+            self.set(str(key), value)
+
+
+def _ancestors(path: str) -> List[str]:
+    segments = path.split(".")
+    return [".".join(segments[:i]) for i in range(1, len(segments))]

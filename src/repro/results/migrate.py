@@ -1,0 +1,132 @@
+"""In-place migration of version-1 campaign records to the v2 layout.
+
+Version-1 records stored whatever shape each job produced: the ``simulate``
+job flattened :class:`SimulationStatistics` (with protocol counters hidden
+behind a ``pstats_`` prefix inside ``stats.extra``), the analytic jobs each
+had a private row layout.  Version 2 gives every record the same ``result``
+section: ``{"status", "metrics", "data"}`` with a namespaced metric tree.
+
+The migration is deterministic and value-preserving: a migrated ``simulate``
+or ``congestion-recovery`` record is byte-identical to the record a fresh
+v2 run of the same spec produces (pinned by the integration tests), so
+migrated caches keep working as caches.  Spec hashes are not touched.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+from repro.errors import ConfigurationError
+from repro.results.metrics import MetricSet
+from repro.results.run import is_v2_payload, make_payload
+
+#: ``stats.extra`` keys produced by the v1 simulator, mapped to metric paths.
+_EXTRA_PATHS = {
+    "replayed_messages": "sim.replayed_messages",
+    "suppressed_duplicates": "sim.suppressed_duplicates",
+    "topology": "network.topology",
+    "contention_wait_s": "network.contention_wait_s",
+    "link_stats": "links.per_link",
+    "tier_stats": "links.tiers",
+    # Two v1 describe() keys collided with ProtocolStatistics counters of
+    # the same name (the pstats_ prefix used to hide it); v2 renames them.
+    "recoveries": "protocol.recovery_reports",
+    "piggyback_bytes": "protocol.configured_piggyback_bytes",
+}
+
+_PSTATS_PREFIX = "pstats_"
+
+
+def migrate_record(record: Mapping[str, Any]) -> Dict[str, Any]:
+    """Return the v2 form of a campaign record (v2 input passes through)."""
+    result = record.get("result")
+    if is_v2_payload(result):
+        return dict(record)
+    if not isinstance(result, Mapping):
+        raise ConfigurationError(
+            f"record {record.get('name')!r} has no result section to migrate"
+        )
+    analysis = record.get("analysis", "simulate")
+    if analysis == "simulate":
+        migrated = _migrate_simulate(result)
+    elif analysis == "table1-row":
+        migrated = _migrate_table1(result)
+    elif analysis == "congestion-recovery":
+        migrated = _migrate_congestion(result)
+    elif analysis in ("cluster-sweep", "piggyback-policy"):
+        migrated = make_payload("completed", None, {"rows": result["rows"]})
+    else:
+        # Unknown job: wrap the old payload verbatim so nothing is lost.
+        data = {k: v for k, v in result.items() if k != "status"}
+        migrated = make_payload(str(result.get("status", "completed")), None, data)
+    out = dict(record)
+    out["result"] = migrated
+    return out
+
+
+def _migrate_simulate(result: Mapping[str, Any]) -> Dict[str, Any]:
+    stats = dict(result["stats"])
+    extra = dict(stats.pop("extra", {}) or {})
+    protocol_name = stats.pop("protocol", None)
+
+    metrics = MetricSet()
+    for key, value in stats.items():
+        metrics.set(f"sim.{key}", value)
+    metrics.set("sim.replayed_messages", extra.pop("replayed_messages", 0))
+    metrics.set("sim.suppressed_duplicates", extra.pop("suppressed_duplicates", 0))
+    extra.pop("protocol", None)
+    metrics.set("protocol.name", protocol_name if protocol_name is not None else "none")
+    for key in sorted(extra):
+        value = extra[key]
+        if key in _EXTRA_PATHS:
+            if isinstance(value, Mapping) and not value:
+                continue  # empty link/tier maps of flat runs carry nothing
+            metrics.set(_EXTRA_PATHS[key], value)
+        elif key.startswith(_PSTATS_PREFIX):
+            metrics.set(f"protocol.{key[len(_PSTATS_PREFIX):]}", value)
+        else:
+            metrics.set(f"protocol.{key}", value)
+
+    data = {
+        "rank_results": result["rank_results"],
+        "rank_states": result["rank_states"],
+    }
+    return make_payload(str(result["status"]), metrics, data)
+
+
+def _migrate_table1(result: Mapping[str, Any]) -> Dict[str, Any]:
+    paper = dict(result.get("paper") or {})
+    row = {
+        "benchmark": result["benchmark"],
+        "num_clusters": result["num_clusters"],
+        "rollback_pct": result["rollback_pct"],
+        "paper_rollback_pct": paper.get("rollback_pct"),
+        "logged_pct": result["logged_pct"],
+        "paper_logged_pct": paper.get("logged_pct"),
+        "logged_gb": result["logged_gb"],
+        "total_gb": result["total_gb"],
+        "paper_logged_gb": paper.get("logged_gb"),
+        "paper_total_gb": paper.get("total_gb"),
+        "method": result["method"],
+    }
+    metrics = MetricSet()
+    for key in ("num_clusters", "rollback_pct", "logged_pct", "logged_gb", "total_gb"):
+        metrics.set(f"clustering.{key}", result[key])
+    data = {"row": row, "membership": result["clusters"]}
+    return make_payload("completed", metrics, data)
+
+
+def _migrate_congestion(result: Mapping[str, Any]) -> Dict[str, Any]:
+    metrics = MetricSet()
+    metrics.set("sim.makespan", result["makespan"])
+    metrics.set("sim.recovery_time", result["recovery_time"])
+    metrics.set("sim.ranks_rolled_back", result["ranks_rolled_back"])
+    metrics.set("protocol.replayed_messages", result["replayed_messages"])
+    metrics.set("network.contention_wait_s", result["contention_wait_s"])
+    topology = result.get("topology")
+    if topology:
+        metrics.set("network.topology", topology)
+    inter = result.get("inter_cluster")
+    if inter:
+        metrics.set("links.tiers.inter-cluster", inter)
+    return make_payload(str(result["status"]), metrics, {})

@@ -1,0 +1,301 @@
+"""Declarative table schemas: the table layer of :mod:`repro.results`.
+
+Each paper table/figure the analysis modules reproduce declares one
+:class:`TableSchema` -- ordered :class:`Column` objects with a dtype,
+units, display scale and format -- and registers it with
+:func:`register_table`.  Rows built through a schema are validated and
+ordered once, and every analysis gets text/CSV/JSON rendering through the
+single :mod:`repro.analysis.reporting` path instead of a private
+``Row`` dataclass + ``as_dict()`` clone.
+
+A registered table may also carry a *builder*: a callable that derives the
+rows from a :class:`~repro.results.query.ResultSet`, which is what powers
+``repro-campaign query --table NAME`` over cached stores.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+_DTYPES = ("str", "int", "float", "bool", "json")
+
+
+@dataclass(frozen=True)
+class Column:
+    """One table column: name, dtype, units and how to display it."""
+
+    name: str
+    dtype: str = "float"
+    units: Optional[str] = None
+    optional: bool = False
+    #: display multiplier (e.g. ``1e3`` renders seconds as milliseconds)
+    scale: float = 1.0
+    #: python format spec applied to the scaled value (e.g. ``".3f"``)
+    format: Optional[str] = None
+    #: header override for rendering (defaults to ``name``)
+    header: Optional[str] = None
+    #: display transform applied before formatting (e.g. ``str.upper``)
+    display: Optional[Callable[[Any], Any]] = None
+
+    def __post_init__(self) -> None:
+        if self.dtype not in _DTYPES:
+            raise ConfigurationError(
+                f"column {self.name!r}: unknown dtype {self.dtype!r} "
+                f"(expected one of {_DTYPES})"
+            )
+
+    @property
+    def title(self) -> str:
+        return self.header if self.header is not None else self.name
+
+    def coerce(self, value: Any) -> Any:
+        """Validate/normalise a stored value for this column."""
+        if value is None:
+            if self.optional:
+                return None
+            raise ConfigurationError(f"column {self.name!r} is required")
+        if self.dtype == "json":
+            return value
+        if self.dtype == "str":
+            if not isinstance(value, str):
+                raise ConfigurationError(
+                    f"column {self.name!r} expects str, got {type(value).__name__}"
+                )
+            return value
+        if self.dtype == "bool":
+            if not isinstance(value, bool):
+                raise ConfigurationError(
+                    f"column {self.name!r} expects bool, got {type(value).__name__}"
+                )
+            return value
+        if self.dtype == "int":
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ConfigurationError(
+                    f"column {self.name!r} expects int, got {value!r}"
+                )
+            return value
+        # float: ints are acceptable and normalised
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ConfigurationError(
+                f"column {self.name!r} expects a number, got {value!r}"
+            )
+        return float(value)
+
+    def render(self, value: Any) -> str:
+        """Display string for a (raw, unscaled) stored value."""
+        from repro.analysis.reporting import format_value
+
+        if value is None:
+            return "-"
+        if self.display is not None:
+            value = self.display(value)
+        if isinstance(value, bool):
+            return str(value)
+        if isinstance(value, (int, float)) and self.scale != 1.0:
+            value = value * self.scale
+        if self.format is not None and isinstance(value, (int, float)):
+            return format(value, self.format)
+        return format_value(value)
+
+
+class Row(Mapping):
+    """One validated table row: mapping *and* attribute access."""
+
+    __slots__ = ("_schema", "_values")
+
+    def __init__(self, schema: "TableSchema", values: Dict[str, Any]) -> None:
+        object.__setattr__(self, "_schema", schema)
+        object.__setattr__(self, "_values", values)
+
+    @property
+    def schema(self) -> "TableSchema":
+        return self._schema
+
+    def __getitem__(self, key: str) -> Any:
+        return self._values[key]
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return self._values[name]
+        except KeyError:
+            raise AttributeError(
+                f"{self._schema.name!r} row has no column {name!r}"
+            ) from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:
+        return f"Row({self._schema.name}, {self._values!r})"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain dict in schema column order (the stored/JSON form)."""
+        return dict(self._values)
+
+
+class TableSchema:
+    """Ordered, validated column layout of one reproduced table."""
+
+    def __init__(self, name: str, columns: Sequence[Column], title: str = "") -> None:
+        self.name = name
+        self.columns: Tuple[Column, ...] = tuple(columns)
+        self.title = title
+        seen = set()
+        for column in self.columns:
+            if column.name in seen:
+                raise ConfigurationError(
+                    f"table {name!r}: duplicate column {column.name!r}"
+                )
+            seen.add(column.name)
+        self._by_name: Dict[str, Column] = {c.name: c for c in self.columns}
+
+    def __repr__(self) -> str:
+        return f"TableSchema({self.name!r}, {len(self.columns)} columns)"
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"table {self.name!r} has no column {name!r}; columns: "
+                f"{', '.join(c.name for c in self.columns)}"
+            ) from None
+
+    @property
+    def column_names(self) -> List[str]:
+        return [c.name for c in self.columns]
+
+    # ------------------------------------------------------------------ rows
+    def row(self, **values: Any) -> Row:
+        return self.from_mapping(values)
+
+    def from_mapping(self, values: Mapping[str, Any]) -> Row:
+        """Validate a mapping into a :class:`Row` (stable column order)."""
+        unknown = sorted(set(values) - set(self._by_name))
+        if unknown:
+            raise ConfigurationError(
+                f"table {self.name!r}: unknown column(s) {', '.join(unknown)}"
+            )
+        out: Dict[str, Any] = {}
+        for column in self.columns:
+            out[column.name] = column.coerce(values.get(column.name))
+        return Row(self, out)
+
+    def rows(self, mappings: Sequence[Mapping[str, Any]]) -> List[Row]:
+        return [self.from_mapping(m) for m in mappings]
+
+    # ------------------------------------------------------------- rendering
+    def render_text(self, rows: Sequence[Mapping[str, Any]], title: Optional[str] = None) -> str:
+        from repro.analysis.reporting import format_table
+
+        headers = [c.title for c in self.columns]
+        data = [[c.render(row.get(c.name)) for c in self.columns] for row in rows]
+        return format_table(headers, data, title=self.title if title is None else title)
+
+    def render_csv(self, rows: Sequence[Mapping[str, Any]]) -> str:
+        """Raw (unscaled) values as CSV, one header row first."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(self.column_names)
+        for row in rows:
+            writer.writerow(
+                [
+                    json.dumps(row.get(c.name))
+                    if isinstance(row.get(c.name), (list, dict))
+                    else row.get(c.name)
+                    for c in self.columns
+                ]
+            )
+        return buffer.getvalue()
+
+    def render_json(self, rows: Sequence[Mapping[str, Any]]) -> str:
+        return json.dumps(
+            [{c.name: row.get(c.name) for c in self.columns} for row in rows],
+            indent=1,
+            sort_keys=False,
+        )
+
+    def render(self, rows: Sequence[Mapping[str, Any]], fmt: str = "text") -> str:
+        if fmt == "text":
+            return self.render_text(rows)
+        if fmt == "csv":
+            return self.render_csv(rows)
+        if fmt == "json":
+            return self.render_json(rows)
+        raise ConfigurationError(f"unknown table format {fmt!r} (text, csv, json)")
+
+
+#: ``ResultSet -> rows`` derivation used by ``repro-campaign query --table``.
+TableBuilder = Callable[[Any], List[Row]]
+
+
+@dataclass(frozen=True)
+class RegisteredTable:
+    schema: TableSchema
+    builder: Optional[TableBuilder] = None
+
+
+_TABLES: Dict[str, RegisteredTable] = {}
+
+
+def register_table(schema: TableSchema, builder: Optional[TableBuilder] = None) -> TableSchema:
+    """Register (or re-register) a table schema; returns the schema."""
+    _TABLES[schema.name] = RegisteredTable(schema=schema, builder=builder)
+    return schema
+
+
+def get_table(name: str) -> RegisteredTable:
+    try:
+        return _TABLES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown table {name!r}; registered: {', '.join(sorted(_TABLES)) or '(none)'}"
+        ) from None
+
+
+def available_tables() -> List[str]:
+    return sorted(_TABLES)
+
+
+def build_table(name: str, resultset: Any) -> Tuple[TableSchema, List[Row]]:
+    """Derive a registered table's rows from a :class:`ResultSet`."""
+    registered = get_table(name)
+    if registered.builder is None:
+        raise ConfigurationError(
+            f"table {name!r} cannot be derived from a results store "
+            "(it needs live simulation artifacts)"
+        )
+    return registered.schema, registered.builder(resultset)
+
+
+def pivot_rows(
+    rows: Sequence[Mapping[str, Any]],
+    index: str,
+    columns: str,
+    values: str,
+) -> List[Dict[str, Any]]:
+    """Pivot plain rows: one output row per ``index`` value, one key per
+    ``columns`` value, cells taken from ``values`` (first wins).
+
+    Unlike :meth:`ResultSet.pivot` (which sorts rows and columns so query
+    output is deterministic regardless of store order), this helper
+    preserves the *input* row order on both axes -- it exists for renderers
+    that already hold rows in display order (e.g. Figure 6's benchmark
+    grouping)."""
+    out: Dict[Any, Dict[str, Any]] = {}
+    for row in rows:
+        key = row.get(index)
+        entry = out.setdefault(key, {index: key})
+        column = str(row.get(columns))
+        if column not in entry:
+            entry[column] = row.get(values)
+    return [out[key] for key in out]

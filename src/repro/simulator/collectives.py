@@ -29,7 +29,6 @@ import operator
 from typing import Any, Callable, List, Optional, Sequence
 
 from repro.errors import InvalidOperationError
-from repro.simulator.messages import ANY_TAG
 
 #: Base of the reserved tag space used by collective-internal messages.
 COLLECTIVE_TAG_BASE = 1 << 20

@@ -19,12 +19,12 @@ small size is derived from the payload repr, which is good enough for tests.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Optional, Sequence
 
 from repro.errors import InvalidOperationError
 from repro.simulator import collectives as _collectives
 from repro.simulator.engine import Condition
-from repro.simulator.messages import ANY_SOURCE, ANY_TAG, Message
+from repro.simulator.messages import ANY_SOURCE, ANY_TAG
 from repro.simulator.ops import (
     CheckpointOp,
     ComputeOp,

@@ -12,7 +12,7 @@ result.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence
+from typing import Any, Optional, Sequence
 
 from repro.simulator.engine import Condition
 from repro.simulator.messages import ANY_SOURCE, ANY_TAG

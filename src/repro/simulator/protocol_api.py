@@ -14,15 +14,30 @@ The concrete protocols live in :mod:`repro.ftprotocols` and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import TYPE_CHECKING, Any, Dict, Iterable, Optional
 
+from repro.errors import ConfigurationError
+from repro.results.metrics import MetricSet
 from repro.simulator.engine import Condition
 from repro.simulator.messages import Message
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.simulator.simulation import Simulation
+
+
+def add_metric(info: Dict[str, Any], key: str, value: Any) -> None:
+    """Add a protocol metric to a flat mapping, rejecting duplicates.
+
+    Subclasses build their :meth:`ProtocolHooks.extra_metrics` mapping with
+    this helper so that a protocol layer re-using a name already claimed by
+    another layer (e.g. a subclass shadowing a :class:`ProtocolStatistics`
+    counter) fails loudly instead of silently overwriting it.
+    """
+    if key in info:
+        raise ConfigurationError(f"duplicate protocol metric name {key!r}")
+    info[key] = value
 
 
 class SendAction(Enum):
@@ -144,9 +159,34 @@ class ProtocolHooks:
         """Per-rank protocol memory footprint (log buffers, determinants...)."""
         return {}
 
+    def extra_metrics(self) -> Dict[str, Any]:
+        """Protocol-namespace metric names -> values (no ``protocol.`` prefix).
+
+        Override (extending ``super().extra_metrics()`` with
+        :func:`add_metric`) to publish protocol counters; they appear as
+        ``protocol.<name>`` in the run's :class:`MetricSet`.
+        """
+        return {}
+
+    def metrics(self) -> MetricSet:
+        """The ``protocol.*`` namespace of the run's metric tree.
+
+        Raises :class:`~repro.errors.ConfigurationError` when two protocol
+        layers publish the same metric name.
+        """
+        metrics = MetricSet()
+        metrics.set("protocol.name", self.name)
+        for key, value in self.extra_metrics().items():
+            metrics.set(f"protocol.{key}", value)
+        return metrics
+
     def describe(self) -> Dict[str, Any]:
-        """Free-form description used by result reports."""
-        return {"protocol": self.name}
+        """Legacy flat description, derived from :meth:`metrics`."""
+        out: Dict[str, Any] = {}
+        for path, value in self.metrics().items():
+            key = path.split(".", 1)[1]
+            out["protocol" if key == "name" else key] = value
+        return out
 
 
 @dataclass

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import DeadlockError, SimulationError
+from repro.results.metrics import MetricSet
 from repro.simulator.channel import Transport
 from repro.simulator.communicator import Communicator
 from repro.simulator.engine import Condition, SimulationEngine
@@ -67,10 +68,17 @@ class SimulationResult:
     trace: TraceRecorder
     rank_results: Dict[int, Any] = field(default_factory=dict)
     rank_states: Dict[int, str] = field(default_factory=dict)
+    #: namespaced metric tree (``sim.*``, ``protocol.*``, ``network.*``,
+    #: ``links.*``) -- the typed face of the run, see :mod:`repro.results`.
+    metrics: MetricSet = field(default_factory=MetricSet)
 
     @property
     def completed(self) -> bool:
         return self.status == "completed"
+
+    def metric(self, path: str, default: Any = None) -> Any:
+        """Dotted-path metric lookup (e.g. ``protocol.replayed_messages``)."""
+        return self.metrics.get(path, default)
 
 
 class Simulation:
@@ -362,6 +370,7 @@ class Simulation:
             trace=self.trace,
             rank_results={r: p.result for r, p in self.ranks.items()},
             rank_states={r: p.state.value for r, p in self.ranks.items()},
+            metrics=self._build_metrics(),
         )
 
     # ------------------------------------------------------------- internals
@@ -373,17 +382,26 @@ class Simulation:
         self.stats.control_bytes = self.control.bytes_sent
         self.stats.checkpoints_taken = self.storage.writes
         self.stats.checkpoint_bytes = self.storage.bytes_written
+
+    def _build_metrics(self) -> MetricSet:
+        """Assemble the run's namespaced metric tree.
+
+        Duplicate metric names (e.g. a protocol layer re-publishing a
+        counter) raise :class:`~repro.errors.ConfigurationError` here, at
+        the single point where the namespaces meet.
+        """
+        metrics = self.stats.sim_metrics()
+        metrics.merge(self.protocol.metrics())
         topology = self.transport.topology
         if topology is not None and topology.has_shared_links:
-            # Only contended topologies publish link stats: a flat (or absent)
-            # topology must keep records byte-identical to pre-topology runs.
-            self.stats.extra["topology"] = topology.describe()
-            self.stats.extra["link_stats"] = self.transport.link_stats(
-                makespan=self.stats.makespan
-            )
-            self.stats.extra["tier_stats"] = self.transport.tier_stats()
-            self.stats.extra["contention_wait_s"] = self.transport.contention_wait_s
-        self.stats.extra.update(self.protocol.describe())
+            # Only contended topologies publish link metrics: a flat (or
+            # absent) topology must keep records byte-identical to
+            # pre-topology runs.
+            metrics.set("network.topology", topology.describe())
+            metrics.set("network.contention_wait_s", self.transport.contention_wait_s)
+            metrics.set("links.per_link", self.transport.link_stats(makespan=self.stats.makespan))
+            metrics.set("links.tiers", self.transport.tier_stats())
+        return metrics
 
     def _deadlock_report(self) -> str:
         lines = ["simulation deadlock: event queue empty but ranks are not done"]

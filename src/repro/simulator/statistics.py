@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from repro.results.metrics import MetricSet
+
 
 @dataclass
 class RankStatistics:
@@ -105,6 +107,23 @@ class SimulationStatistics:
             "recovery_time": self.recovery_time,
             "extra": dict(self.extra),
         }
+
+    def sim_metrics(self) -> MetricSet:
+        """The ``sim.*`` namespace of the run's :class:`MetricSet`.
+
+        Mirrors :meth:`as_dict` minus the protocol name (reported as
+        ``protocol.name``) and the free-form ``extra`` dict, whose in-run
+        substrate counters become first-class ``sim.*`` metrics.
+        """
+        metrics = MetricSet()
+        values = self.as_dict()
+        values.pop("protocol", None)
+        values.pop("extra", None)
+        for key, value in values.items():
+            metrics.set(f"sim.{key}", value)
+        metrics.set("sim.replayed_messages", self.extra.get("replayed_messages", 0))
+        metrics.set("sim.suppressed_duplicates", self.extra.get("suppressed_duplicates", 0))
+        return metrics
 
     def summary_lines(self) -> List[str]:
         d = self.as_dict()

@@ -13,12 +13,12 @@ Two consumers rely on the trace:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.simulator.messages import Message, MessageKind
+from repro.simulator.messages import Message
 
 
 @dataclass

@@ -7,7 +7,7 @@ import pytest
 from repro.core.config import HydEEConfig
 from repro.core.protocol import HydEEProtocol
 from repro.simulator.failures import FailureEvent, FailureInjector
-from repro.simulator.simulation import Simulation, SimulationConfig
+from repro.simulator.simulation import Simulation
 from repro.workloads.ring import RingApplication
 from repro.workloads.stencil import Stencil2DApplication
 

@@ -7,6 +7,7 @@ import pytest
 
 from repro.campaign import ResultsStore, run_campaign, run_spec
 from repro.campaign.cli import main as campaign_main
+from repro.results import RunResult
 from repro.scenarios import (
     ClusteringSpec,
     FailureSpec,
@@ -112,10 +113,10 @@ class TestArtifactsAndJobs:
     def test_keep_artifacts_returns_live_results(self):
         specs = sweep_specs()[:2]
         outcome = run_campaign(specs, keep_artifacts=True)
-        for artifact, record in zip(outcome.artifacts, outcome.records):
+        for artifact, run in zip(outcome.artifacts, outcome.results()):
             assert artifact is not None
             assert artifact.completed
-            assert artifact.makespan == record["result"]["makespan"]
+            assert artifact.makespan == run.metric("sim.makespan")
 
     def test_failure_scenarios_record_recovery(self):
         spec = ScenarioSpec(
@@ -129,10 +130,10 @@ class TestArtifactsAndJobs:
             failures=(FailureSpec(ranks=(5,), at_iteration=4),),
         )
         record, _ = run_spec(spec)
-        stats = record["result"]["stats"]
-        assert record["result"]["status"] == "completed"
-        assert stats["failures_injected"] == 1
-        assert stats["ranks_rolled_back"] == 4
+        run = RunResult.from_record(record)
+        assert run.status == "completed"
+        assert run.metric("sim.failures_injected") == 1
+        assert run.metric("sim.ranks_rolled_back") == 4
 
     def test_analytic_jobs_run_through_campaign(self):
         from repro.analysis.table1 import cluster_sweep_spec, table1_spec
@@ -142,10 +143,11 @@ class TestArtifactsAndJobs:
              cluster_sweep_spec("bt", nprocs=64, counts=(2, 4))],
             workers=2,
         )
-        table1_record, sweep_record = outcome.records
-        assert table1_record["analysis"] == "table1-row"
-        assert table1_record["result"]["benchmark"] == "cg"
-        assert [row["clusters"] for row in sweep_record["result"]["rows"]] == [2, 4]
+        table1_run, sweep_run = outcome.results()
+        assert table1_run.analysis == "table1-row"
+        assert table1_run.data["row"]["benchmark"] == "cg"
+        assert table1_run.metric("clustering.num_clusters") == table1_run.data["row"]["num_clusters"]
+        assert [row["clusters"] for row in sweep_run.data["rows"]] == [2, 4]
 
     def test_unknown_analysis_is_rejected(self):
         spec = ScenarioSpec(

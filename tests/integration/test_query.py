@@ -1,0 +1,235 @@
+"""Integration tests for the results query layer and store migration:
+
+* v1 store files load through the migrator and their migrated records are
+  byte-identical to records a fresh v2 run of the same specs produces,
+* unknown store versions fail with a clear error,
+* where/select/pivot are deterministic (serial vs --workers N stores are
+  byte-identical and query output over them matches),
+* spec hashes of every preset scenario are pinned to their pre-redesign
+  values (cache keys must survive the results API redesign),
+* the ``repro-campaign query`` CLI reproduces the Table I summary from a
+  v1 store file.
+"""
+
+import json
+import os
+import shutil
+
+import pytest
+
+from repro.campaign import ResultsStore, run_campaign, run_spec
+from repro.campaign.cli import main as campaign_main
+from repro.campaign.store import STORE_VERSION
+from repro.errors import ConfigurationError
+from repro.results import ResultSet, RunResult
+from repro.scenarios import ScenarioSpec
+
+DATA_DIR = os.path.join(os.path.dirname(__file__), "..", "data")
+V1_STORE = os.path.join(DATA_DIR, "v1_store.json")
+PINNED_HASHES = os.path.join(DATA_DIR, "pinned_spec_hashes.json")
+
+
+def canonical(value):
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+class TestV1Migration:
+    def test_fixture_is_a_version1_store(self):
+        with open(V1_STORE, "r", encoding="utf-8") as fh:
+            raw = json.load(fh)
+        assert raw["version"] == 1
+        # v1 simulate records flattened stats with a pstats_ prefix in extra.
+        simulate = [r for r in raw["records"].values() if r["analysis"] == "simulate"]
+        assert any("pstats_logged_messages" in r["result"]["stats"]["extra"]
+                   for r in simulate)
+
+    def test_v1_store_loads_migrated(self):
+        store = ResultsStore(V1_STORE)
+        assert store.loaded_version == 1 and store.migrated
+        for record in store.records().values():
+            run = RunResult.from_record(record)   # strict: v2 layout required
+            assert run.status == "completed"
+
+    def test_migrated_records_match_fresh_v2_runs(self):
+        """The migrator is value-preserving: re-running every fixture spec
+        under the v2 jobs reproduces the migrated records byte for byte
+        (so migrated caches keep being valid caches)."""
+        store = ResultsStore(V1_STORE)
+        for spec_hash, record in sorted(store.records().items()):
+            spec = ScenarioSpec.from_dict(record["spec"])
+            assert spec.spec_hash() == spec_hash
+            fresh, _ = run_spec(spec)
+            assert canonical(fresh) == canonical(record), spec.name
+
+    def test_migrated_store_saves_as_v2_and_is_stable(self, tmp_path):
+        path = tmp_path / "migrated.json"
+        shutil.copy(V1_STORE, path)
+        store = ResultsStore(str(path))
+        assert store.migrated
+        store.save()
+        first = path.read_bytes()
+        data = json.loads(first)
+        assert data["version"] == STORE_VERSION
+        # Loading + saving the migrated file again is a fixed point.
+        reloaded = ResultsStore(str(path))
+        assert not reloaded.migrated
+        reloaded.save()
+        assert path.read_bytes() == first
+
+    def test_unknown_store_version_rejected(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"version": 99, "records": {}}))
+        with pytest.raises(ValueError, match="unsupported results-store version"):
+            ResultsStore(str(path))
+
+    def test_not_a_store_rejected(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps({"hello": 1}))
+        with pytest.raises(ValueError, match="not a campaign results store"):
+            ResultsStore(str(path))
+
+
+class TestPinnedSpecHashes:
+    def test_preset_scenario_hashes_unchanged(self):
+        """Cache keys must be byte-identical to their pre-redesign values."""
+        from repro.analysis.congestion import congestion_specs
+        from repro.analysis.containment import containment_specs
+        from repro.analysis.netpipe_analysis import netpipe_specs
+        from repro.analysis.overhead import overhead_specs
+        from repro.analysis.table1 import cluster_sweep_spec, table1_spec
+        from repro.experiments.ablation_piggyback import piggyback_spec
+        from repro.workloads.nas import NAS_BENCHMARKS
+
+        with open(PINNED_HASHES, "r", encoding="utf-8") as fh:
+            pinned = json.load(fh)
+
+        current = {}
+        for name in sorted(NAS_BENCHMARKS):
+            current[f"table1:{name}"] = table1_spec(name).spec_hash()
+            current[f"cluster-sweep:{name}"] = cluster_sweep_spec(name).spec_hash()
+        for spec in netpipe_specs():
+            current[spec.name] = spec.spec_hash()
+        for name in sorted(NAS_BENCHMARKS):
+            for spec in overhead_specs(name):
+                current[spec.name] = spec.spec_hash()
+        for spec in containment_specs():
+            current[spec.name] = spec.spec_hash()
+        for spec in congestion_specs():
+            current[spec.name] = spec.spec_hash()
+        current[piggyback_spec().name] = piggyback_spec().spec_hash()
+
+        assert current == pinned
+
+
+@pytest.fixture(scope="module")
+def small_campaign(tmp_path_factory):
+    """A small mixed campaign run serially and with workers into stores."""
+    from repro.analysis.table1 import table1_spec
+    from repro.scenarios import ScenarioSpec, WorkloadSpec, sweep
+
+    base = ScenarioSpec(
+        name="query-grid",
+        workload=WorkloadSpec(kind="stencil2d", nprocs=8, iterations=3),
+    )
+    specs = sweep(
+        base,
+        {
+            "workload.kind": ["stencil2d", "ring"],
+            "protocol.name": ["none", "hydee-log-all"],
+        },
+    ) + [table1_spec("cg", nprocs=64)]
+    tmp = tmp_path_factory.mktemp("query-stores")
+    serial_store = ResultsStore(str(tmp / "serial.json"))
+    parallel_store = ResultsStore(str(tmp / "parallel.json"))
+    run_campaign(specs, workers=1, store=serial_store)
+    run_campaign(specs, workers=2, store=parallel_store)
+    return tmp
+
+
+class TestQueryDeterminism:
+    def test_serial_and_parallel_v2_stores_byte_identical(self, small_campaign):
+        serial = (small_campaign / "serial.json").read_bytes()
+        parallel = (small_campaign / "parallel.json").read_bytes()
+        assert serial == parallel
+        assert json.loads(serial)["version"] == STORE_VERSION
+
+    def test_where_select_pivot_identical_across_stores(self, small_campaign):
+        serial = ResultSet.from_store(str(small_campaign / "serial.json"))
+        parallel = ResultSet.from_store(str(small_campaign / "parallel.json"))
+        for resultset in (serial, parallel):
+            assert len(resultset) == 5
+        assert canonical(serial.select("name", "sim.makespan")) == \
+            canonical(parallel.select("name", "sim.makespan"))
+        assert canonical(serial.pivot("workload", "protocol", "sim.makespan")) == \
+            canonical(parallel.pivot("workload", "protocol", "sim.makespan"))
+
+    def test_where_filters_on_spec_fields_and_metrics(self, small_campaign):
+        resultset = ResultSet.from_store(str(small_campaign / "serial.json"))
+        assert len(resultset.where(workload="ring")) == 2
+        assert len(resultset.where(protocol="hydee-log-all")) == 2
+        assert len(resultset.where(workload="ring", protocol="none")) == 1
+        assert len(resultset.where(**{"sim.failures_injected": 0})) == 4
+        assert len(resultset.where(analysis="table1-row")) == 1
+        assert len(resultset.where(workload="no-such-workload")) == 0
+
+    def test_overhead_vs_and_speedup(self, small_campaign):
+        resultset = ResultSet.from_store(str(small_campaign / "serial.json"))
+        sims = resultset.where(analysis="simulate")
+        pairs = sims.overhead_vs(
+            metric="sim.makespan", index=("workload.kind",), protocol="none"
+        )
+        ratios = {(run.field("workload"), run.field("protocol")): ratio
+                  for run, ratio in pairs}
+        assert ratios[("stencil2d", "none")] == 1.0
+        assert ratios[("stencil2d", "hydee-log-all")] > 1.0
+        speedups = dict(
+            (run.name, v) for run, v in sims.speedup(
+                metric="sim.makespan", index=("workload.kind",), protocol="none"
+            )
+        )
+        for (workload, protocol), ratio in ratios.items():
+            if protocol == "hydee-log-all":
+                assert any(abs(v - 1.0 / ratio) < 1e-12 for v in speedups.values())
+
+    def test_missing_baseline_is_an_error(self, small_campaign):
+        resultset = ResultSet.from_store(str(small_campaign / "serial.json"))
+        with pytest.raises(ConfigurationError, match="no baseline"):
+            resultset.overhead_vs(metric="sim.makespan", protocol="coordinated")
+
+
+class TestQueryCli:
+    def test_table1_summary_from_v1_store(self, tmp_path, capsys):
+        """Acceptance: the CLI reproduces Table I from a v1 store file."""
+        path = tmp_path / "v1.json"
+        shutil.copy(V1_STORE, path)
+        assert campaign_main(["query", str(path), "--table", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "CG" in out
+
+    def test_migrate_flag_rewrites_file(self, tmp_path, capsys):
+        path = tmp_path / "v1.json"
+        shutil.copy(V1_STORE, path)
+        assert campaign_main(["query", str(path), "--migrate"]) == 0
+        assert json.loads(path.read_text())["version"] == STORE_VERSION
+
+    def test_where_select_and_formats(self, tmp_path, capsys):
+        path = tmp_path / "v1.json"
+        shutil.copy(V1_STORE, path)
+        assert campaign_main([
+            "query", str(path), "--where", "tags.experiment=congestion-recovery",
+            "--select", "name", "sim.makespan", "--format", "json",
+        ]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 4
+        assert all(isinstance(r["sim.makespan"], float) for r in rows)
+        assert campaign_main([
+            "query", str(path), "--table", "congestion", "--format", "csv",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("protocol,oversubscription")
+
+    def test_unknown_table_errors_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "v1.json"
+        shutil.copy(V1_STORE, path)
+        assert campaign_main(["query", str(path), "--table", "nope"]) == 2
+        assert "unknown table" in capsys.readouterr().err

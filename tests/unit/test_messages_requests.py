@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import InvalidOperationError
 from repro.simulator.messages import ANY_SOURCE, ANY_TAG, ChannelKey, Message, MessageKind
-from repro.simulator.requests import RecvRequest, Request, RequestState, SendRequest
+from repro.simulator.requests import RecvRequest, RequestState, SendRequest
 
 
 class TestMessage:

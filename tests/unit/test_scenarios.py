@@ -18,7 +18,6 @@ from repro.scenarios import (
     build_application,
     build_config,
     build_network,
-    build_protocol,
     load_specs,
     resolve_clusters,
     sweep,
@@ -383,7 +382,6 @@ class TestTopologySpec:
     def test_built_topology_scenario_runs_to_completion(self):
         result = build(self._topo_spec()).run()
         assert result.completed
-        extra = result.stats.extra
-        assert extra["topology"]["clusters"] == 4
-        assert "inter-cluster" in extra["tier_stats"]
-        assert extra["contention_wait_s"] >= 0.0
+        assert result.metric("network.topology.clusters") == 4
+        assert "links.tiers.inter-cluster" in result.metrics
+        assert result.metric("network.contention_wait_s") >= 0.0
