@@ -1,16 +1,19 @@
-"""Hot-path micro-benchmark: engine event and transport message throughput.
+"""Hot-path micro-benchmark: engine, transport and checkpoint throughput.
 
-Measures two rates on the slotted hot-path classes
-(:class:`~repro.simulator.engine._ScheduledEvent`,
-:class:`~repro.simulator.messages.Message`):
+Measures three groups of rates on the simulator hot path:
 
 * ``events_per_s``   -- schedule + execute empty engine events,
-* ``messages_per_s`` -- allocate, transmit and deliver transport messages.
+* ``messages_per_s`` -- allocate, transmit and deliver transport messages,
+* ``checkpoint_scenario`` -- a full HydEE simulation checkpointing every
+  iteration (the Table I / Figure 6 sweep regime): end-to-end events/s and
+  checkpoints/s through the snapshot-strategy save/restore path.
 
 The results are written to ``BENCH_engine.json`` (in ``$REPRO_BENCH_DIR``
-or the current directory) so CI can archive the perf trajectory.  Runs
-either under pytest (``pytest benchmarks/bench_engine_hotpath.py -o
-python_files='bench_*.py' --benchmark-only``) or directly::
+or the current directory) so CI can archive the perf trajectory; the CI
+bench-smoke job asserts ``events_per_s`` stays above a floor so hot-path
+regressions fail the build.  Runs either under pytest (``pytest
+benchmarks/bench_engine_hotpath.py -o python_files='bench_*.py'
+--benchmark-only``) or directly::
 
     python benchmarks/bench_engine_hotpath.py
 """
@@ -21,13 +24,19 @@ from bench_utils import ensure_src_on_path, run_and_report, write_report
 
 ensure_src_on_path()
 
+from repro.core.config import HydEEConfig  # noqa: E402
+from repro.core.protocol import HydEEProtocol  # noqa: E402
 from repro.simulator.channel import Transport  # noqa: E402
 from repro.simulator.engine import SimulationEngine  # noqa: E402
 from repro.simulator.messages import Message  # noqa: E402
 from repro.simulator.network import MyrinetMXModel  # noqa: E402
+from repro.simulator.simulation import Simulation  # noqa: E402
+from repro.workloads.stencil import Stencil2DApplication  # noqa: E402
 
 N_EVENTS = 200_000
 N_MESSAGES = 50_000
+CKPT_NPROCS = 16
+CKPT_ITERATIONS = 60
 
 
 def _noop() -> None:
@@ -61,6 +70,41 @@ def measure_message_throughput(n_messages: int = N_MESSAGES) -> float:
     return n_messages / elapsed
 
 
+def measure_checkpoint_throughput(
+    nprocs: int = CKPT_NPROCS, iterations: int = CKPT_ITERATIONS
+) -> dict:
+    """Checkpoint-heavy end-to-end scenario: HydEE, checkpoint every iteration.
+
+    Exercises the whole save path (workload snapshot strategy, protocol
+    payload snapshot, storage write pricing) under the densest checkpoint
+    interval of the paper's sweeps.
+    """
+    clusters = [
+        list(range(c * 4, (c + 1) * 4)) for c in range(nprocs // 4)
+    ]
+    app = Stencil2DApplication(nprocs=nprocs, iterations=iterations)
+    protocol = HydEEProtocol(
+        HydEEConfig(
+            clusters=clusters, checkpoint_interval=1, checkpoint_size_bytes=64 * 1024
+        )
+    )
+    sim = Simulation(app, nprocs=nprocs, protocol=protocol)
+    started = time.perf_counter()
+    result = sim.run()
+    elapsed = time.perf_counter() - started
+    assert result.completed
+    checkpoints = sim.storage.writes
+    assert checkpoints == nprocs * iterations
+    return {
+        "nprocs": nprocs,
+        "iterations": iterations,
+        "checkpoints": checkpoints,
+        "events": sim.engine.events_processed,
+        "events_per_s": round(sim.engine.events_processed / elapsed),
+        "checkpoints_per_s": round(checkpoints / elapsed),
+    }
+
+
 def bench_report() -> dict:
     return {
         "benchmark": "engine-hotpath",
@@ -68,6 +112,7 @@ def bench_report() -> dict:
         "n_messages": N_MESSAGES,
         "events_per_s": round(measure_event_throughput()),
         "messages_per_s": round(measure_message_throughput()),
+        "checkpoint_scenario": measure_checkpoint_throughput(),
     }
 
 

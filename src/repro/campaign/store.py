@@ -12,6 +12,16 @@ with a ``{"status", "metrics", "data"}`` result section (see
 record by record, spec hashes untouched -- and written back as version 2 on
 the next :meth:`ResultsStore.save`.  Unknown versions are rejected with a
 clear error instead of being silently misread.
+
+Concurrent writers: several campaign processes may share one store file
+(parallel sweeps, CI jobs).  ``os.replace`` alone made each *file* write
+atomic but the load-compute-save cycle was still a read-modify-write race:
+the last writer's file silently dropped every record the other writers had
+added in between.  :meth:`ResultsStore.save` therefore serialises writers
+with an exclusive ``flock`` on a ``<path>.lock`` sidecar and, while holding
+it, merges the records currently on disk into the write (records this store
+computed win on hash collisions -- by construction they describe the same
+spec anyway).
 """
 
 from __future__ import annotations
@@ -20,6 +30,11 @@ import json
 import os
 import tempfile
 from typing import Any, Dict, Iterator, Optional
+
+try:  # POSIX; on platforms without fcntl the merge still runs, unserialised.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
 
 from repro.results.migrate import migrate_record
 
@@ -34,20 +49,24 @@ class ResultsStore:
         self._records: Dict[str, Dict[str, Any]] = {}
         #: version the file had on disk (None for fresh/in-memory stores).
         self.loaded_version: Optional[int] = None
+        #: set by clear(): the next save() replaces the file outright instead
+        #: of merging the on-disk records back in (deliberate deletion).
+        self._replace_on_save = False
         if path is not None and os.path.exists(path):
             self._load()
 
     # ------------------------------------------------------------------- i/o
-    def _load(self) -> None:
+    def _read_records(self) -> Dict[str, Dict[str, Any]]:
+        """Read and (if needed) migrate the records currently in the file."""
         with open(self.path, "r", encoding="utf-8") as fh:
             data = json.load(fh)
         if not isinstance(data, dict) or "records" not in data:
             raise ValueError(f"{self.path}: not a campaign results store")
         version = data.get("version", 1)
         if version == STORE_VERSION:
-            self._records = dict(data["records"])
+            records = dict(data["records"])
         elif version == 1:
-            self._records = {
+            records = {
                 spec_hash: migrate_record(record)
                 for spec_hash, record in data["records"].items()
             }
@@ -57,6 +76,10 @@ class ResultsStore:
                 f"this build reads versions 1 (migrated in place) and {STORE_VERSION}"
             )
         self.loaded_version = version
+        return records
+
+    def _load(self) -> None:
+        self._records = self._read_records()
 
     @property
     def migrated(self) -> bool:
@@ -64,22 +87,42 @@ class ResultsStore:
         return self.loaded_version is not None and self.loaded_version < STORE_VERSION
 
     def save(self) -> None:
-        """Write the store atomically (no-op for in-memory stores)."""
+        """Write the store atomically (no-op for in-memory stores).
+
+        Safe under concurrent writers: an exclusive lock on ``<path>.lock``
+        serialises the merge-and-replace, and records written by other
+        processes since our load are merged in instead of dropped (this
+        store's own records win on spec-hash collisions).
+        """
         if self.path is None:
             return
-        payload = {"version": STORE_VERSION, "records": self._records}
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
-        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        lock_fd = None
+        if fcntl is not None:
+            lock_fd = os.open(self.path + ".lock", os.O_CREAT | os.O_RDWR, 0o644)
+            fcntl.flock(lock_fd, fcntl.LOCK_EX)
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh, sort_keys=True, indent=1)
-                fh.write("\n")
-            os.replace(tmp_path, self.path)
-        except BaseException:
-            if os.path.exists(tmp_path):
-                os.unlink(tmp_path)
-            raise
+            if not self._replace_on_save and os.path.exists(self.path):
+                merged = self._read_records()
+                merged.update(self._records)
+                self._records = merged
+            payload = {"version": STORE_VERSION, "records": self._records}
+            fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    json.dump(payload, fh, sort_keys=True, indent=1)
+                    fh.write("\n")
+                os.replace(tmp_path, self.path)
+            except BaseException:
+                if os.path.exists(tmp_path):
+                    os.unlink(tmp_path)
+                raise
+            self._replace_on_save = False
+        finally:
+            if lock_fd is not None:
+                fcntl.flock(lock_fd, fcntl.LOCK_UN)
+                os.close(lock_fd)
 
     # --------------------------------------------------------------- records
     def get(self, spec_hash: str) -> Optional[Dict[str, Any]]:
@@ -101,4 +144,6 @@ class ResultsStore:
         return dict(self._records)
 
     def clear(self) -> None:
+        """Drop every record; the next save() replaces the file (no merge)."""
         self._records.clear()
+        self._replace_on_save = True

@@ -6,42 +6,54 @@ failures) is expressed as callbacks scheduled at absolute simulation times.
 Ties are broken by a monotonically increasing sequence number so that two
 runs with identical inputs execute events in exactly the same order, which is
 what makes the replay/recovery comparisons in the test-suite meaningful.
+
+Hot-path design notes
+---------------------
+Scheduling and draining events is the single hottest path of the simulator
+(one entry per message, per compute delay, per control message), so the
+implementation deliberately avoids Python-level overhead:
+
+* queue entries are plain **lists** ``[time, seq, callback, args, state]``
+  rather than objects: ordering uses C-level list lexicographic comparison
+  (time first, then the unique ``seq``), so no Python ``__lt__`` is ever
+  invoked and no ``__init__`` runs per event;
+* the queue is two-tier: a **drain** list (sorted ascending, consumed by
+  index -- popping the next event is O(1)) plus a small overflow **heap**
+  receiving events scheduled while the engine runs.  The earliest entry of
+  the two tiers executes next, which reproduces exactly the single-heap
+  (time, seq) order; when the drain is exhausted the heap is sorted and
+  becomes the next drain.  This turns the dominant cost -- one O(log n)
+  sift-down per executed event -- into an amortised O(log k) where k is the
+  number of events scheduled since the last generation;
+* ``run`` specialises its inner loop on which bounds are active and hoists
+  state into locals, re-synchronising around callbacks (a callback may
+  schedule, cancel, or trigger a lazy compaction);
+* :meth:`SimulationEngine.schedule_many` batches the bookkeeping for callers
+  that inject many events at once (rank start-up, grouped replays,
+  benchmark floods).
+
+Scheduled times must be finite: ``NaN`` compares false against everything,
+so a single ``NaN`` time would silently corrupt the queue ordering (and with
+it determinism); ``inf`` would park an event that can never run.  Both are
+rejected with :class:`~repro.errors.SimulationError` at scheduling time.
+
+The ``state`` slot of an entry is ``_PENDING`` (may run), ``_EXECUTED``
+(popped and run) or ``_CANCELLED`` (skipped when reached; lazily compacted).
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from typing import Any, Callable, List, Optional, Tuple
+import math
+from heapq import heapify, heappop, heappush
+from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
+_INF = math.inf
 
-class _ScheduledEvent:
-    """One heap entry; slotted (not a dataclass) -- this is the hottest
-    allocation in the simulator, one instance per scheduled event."""
-
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "executed")
-
-    def __init__(
-        self,
-        time: float,
-        seq: int,
-        callback: Callable[..., None],
-        args: Tuple[Any, ...] = (),
-    ) -> None:
-        self.time = time
-        self.seq = seq
-        self.callback = callback
-        self.args = args
-        self.cancelled = False
-        self.executed = False
-
-    def __lt__(self, other: "_ScheduledEvent") -> bool:
-        # Heap order: time, then insertion sequence (deterministic ties).
-        if self.time != other.time:
-            return self.time < other.time
-        return self.seq < other.seq
+#: queue-entry indexes / states (plain ints: list slots, not attributes).
+_TIME, _SEQ, _CALLBACK, _ARGS, _STATE = 0, 1, 2, 3, 4
+_PENDING, _EXECUTED, _CANCELLED = 0, 1, 2
 
 
 class EventHandle:
@@ -49,40 +61,45 @@ class EventHandle:
 
     __slots__ = ("_event", "_engine")
 
-    def __init__(self, event: _ScheduledEvent, engine: "SimulationEngine") -> None:
+    def __init__(self, event: List[Any], engine: "SimulationEngine") -> None:
         self._event = event
         self._engine = engine
 
     def cancel(self) -> None:
-        if not self._event.cancelled and not self._event.executed:
-            self._event.cancelled = True
+        event = self._event
+        if event[_STATE] == _PENDING:
+            event[_STATE] = _CANCELLED
             self._engine._note_cancelled()
 
     @property
     def time(self) -> float:
-        return self._event.time
+        return self._event[_TIME]
 
     @property
     def cancelled(self) -> bool:
-        return self._event.cancelled
+        return self._event[_STATE] == _CANCELLED
 
 
 class SimulationEngine:
     """Time-ordered event queue with deterministic tie-breaking."""
 
-    #: lazy heap compaction threshold: rebuild once at least this many
-    #: cancelled entries linger *and* they outnumber the live ones.
+    #: lazy compaction threshold: rebuild once at least this many cancelled
+    #: entries linger *and* they outnumber the live ones.
     COMPACT_MIN_CANCELLED = 64
 
     def __init__(self) -> None:
-        self._queue: List[_ScheduledEvent] = []
-        self._seq = itertools.count()
+        #: sorted generation being consumed front-to-back.
+        self._drain: List[List[Any]] = []
+        self._drain_idx: int = 0
+        #: min-heap of entries scheduled since the drain was built.
+        self._heap: List[List[Any]] = []
+        self._seq = 0
         self._now: float = 0.0
         self._events_processed: int = 0
         self._running = False
         #: scheduled events that are neither cancelled nor executed yet.
         self._live: int = 0
-        #: cancelled events still sitting in the heap.
+        #: cancelled events still sitting in the queue tiers.
         self._cancelled: int = 0
 
     # ------------------------------------------------------------------ time
@@ -99,6 +116,10 @@ class SimulationEngine:
     def pending_events(self) -> int:
         return self._live
 
+    def _entry_count(self) -> int:
+        """Entries physically present in the queue tiers (live + cancelled)."""
+        return (len(self._drain) - self._drain_idx) + len(self._heap)
+
     def _note_cancelled(self) -> None:
         self._live -= 1
         self._cancelled += 1
@@ -106,44 +127,153 @@ class SimulationEngine:
             self._compact()
 
     def _compact(self) -> None:
-        """Drop cancelled entries and re-heapify (amortised O(n))."""
-        self._queue = [e for e in self._queue if not e.cancelled]
-        heapq.heapify(self._queue)
+        """Drop cancelled entries from both tiers (amortised O(n)).
+
+        Only reached from :meth:`EventHandle.cancel`, i.e. either outside
+        :meth:`run` or inside an executing callback -- both points where
+        ``_drain_idx`` is synchronised, so slicing the consumed prefix off
+        the drain is safe (the run loops re-read the tier attributes after
+        every callback).
+        """
+        self._drain = [e for e in self._drain[self._drain_idx:] if not e[_STATE]]
+        self._drain_idx = 0
+        self._heap = [e for e in self._heap if not e[_STATE]]
+        heapify(self._heap)
         self._cancelled = 0
 
     # ------------------------------------------------------------ scheduling
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
-        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
-        if delay < 0:
-            raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, *args)
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        ``delay`` must be finite and non-negative; ``NaN``/``inf`` would
+        corrupt the queue order (or never run) and are rejected.
+        """
+        if not 0.0 <= delay < _INF:
+            raise SimulationError(
+                f"cannot schedule an event with a negative or non-finite delay (delay={delay})"
+            )
+        self._seq += 1
+        event = [self._now + delay, self._seq, callback, args, _PENDING]
+        heappush(self._heap, event)
+        self._live += 1
+        return EventHandle(event, self)
 
     def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> EventHandle:
-        """Schedule ``callback(*args)`` at absolute simulation ``time``."""
-        if time < self._now:
+        """Schedule ``callback(*args)`` at absolute simulation ``time``.
+
+        ``time`` must be finite (no ``NaN``/``inf``) and not in the past.
+        """
+        # A single comparison chain rejects past times, NaN and +/-inf: NaN
+        # compares false against everything, inf fails the right-hand bound.
+        if not self._now <= time < _INF:
+            if time != time or time in (_INF, -_INF):
+                raise SimulationError(
+                    f"cannot schedule an event at a non-finite time (t={time})"
+                )
             raise SimulationError(
                 f"cannot schedule an event at t={time} before current time t={self._now}"
             )
-        event = _ScheduledEvent(time=time, seq=next(self._seq), callback=callback, args=args)
-        heapq.heappush(self._queue, event)
+        self._seq += 1
+        event = [time, self._seq, callback, args, _PENDING]
+        heappush(self._heap, event)
         self._live += 1
         return EventHandle(event, self)
+
+    def schedule_many(
+        self, events: Iterable[Tuple[float, Callable[..., None], Tuple[Any, ...]]]
+    ) -> None:
+        """Schedule a batch of ``(delay, callback, args)`` entries at once.
+
+        Equivalent to calling :meth:`schedule` per entry (same validation,
+        same deterministic insertion order) but with the per-event
+        bookkeeping hoisted out of the loop and no :class:`EventHandle`
+        allocations -- batch-scheduled events cannot be cancelled
+        individually.
+        """
+        now = self._now
+        heap = self._heap
+        push = heappush
+        seq = self._seq
+        scheduled = 0
+        try:
+            for delay, callback, args in events:
+                if not 0.0 <= delay < _INF:
+                    raise SimulationError(
+                        "cannot schedule an event with a negative or non-finite delay "
+                        f"(delay={delay})"
+                    )
+                seq += 1
+                push(heap, [now + delay, seq, callback, args, _PENDING])
+                scheduled += 1
+        finally:
+            self._seq = seq
+            self._live += scheduled
+
+    # ------------------------------------------------------------ queue core
+    def _next_event(self) -> Optional[List[Any]]:
+        """Pop the earliest live entry across both tiers (None when empty).
+
+        Consumes (and discounts) any cancelled entries encountered on the
+        way.  The caller is responsible for marking the entry executed and
+        updating ``_live`` / ``_now`` / ``_events_processed``.
+        """
+        drain = self._drain
+        idx = self._drain_idx
+        heap = self._heap
+        while True:
+            if idx < len(drain):
+                entry = drain[idx]
+                if heap and heap[0] < entry:
+                    entry = heappop(heap)
+                else:
+                    idx += 1
+            elif heap:
+                if len(heap) > 1:
+                    heap.sort()
+                    self._drain = drain = heap
+                    self._heap = heap = []
+                    entry = drain[0]
+                    idx = 1
+                else:
+                    entry = heap.pop()
+            else:
+                self._drain_idx = idx
+                return None
+            if entry[_STATE]:
+                self._cancelled -= 1
+                continue
+            self._drain_idx = idx
+            return entry
+
+    def _peek_time(self) -> Optional[float]:
+        """Earliest live event time without consuming it (None when empty)."""
+        drain = self._drain
+        idx = self._drain_idx
+        while idx < len(drain) and drain[idx][_STATE]:
+            idx += 1
+            self._cancelled -= 1
+        self._drain_idx = idx
+        heap = self._heap
+        while heap and heap[0][_STATE]:
+            heappop(heap)
+            self._cancelled -= 1
+        head = drain[idx] if idx < len(drain) else None
+        if heap and (head is None or heap[0] < head):
+            head = heap[0]
+        return head[_TIME] if head is not None else None
 
     # --------------------------------------------------------------- running
     def step(self) -> bool:
         """Execute the next pending event.  Returns False when the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                self._cancelled -= 1
-                continue
-            self._live -= 1
-            event.executed = True
-            self._now = event.time
-            self._events_processed += 1
-            event.callback(*event.args)
-            return True
-        return False
+        event = self._next_event()
+        if event is None:
+            return False
+        event[_STATE] = _EXECUTED
+        self._live -= 1
+        self._now = event[_TIME]
+        self._events_processed += 1
+        event[_CALLBACK](*event[_ARGS])
+        return True
 
     def run(
         self,
@@ -154,33 +284,81 @@ class SimulationEngine:
         """Run events until exhaustion or a bound is reached.
 
         Returns one of ``"empty"``, ``"until_time"``, ``"max_events"`` or
-        ``"stopped"`` describing why the loop ended.
+        ``"stopped"`` describing why the loop ended.  ``stop_predicate`` is
+        consulted before *every* event (never batched away): the exact event
+        count at which a run stops is part of the determinism contract.
         """
         self._running = True
-        processed = 0
         try:
+            if until_time is None and max_events is None:
+                # Hot path: no time/count bound (with or without a stop
+                # predicate).  The queue tiers live in locals; ``_drain_idx``
+                # is committed before each callback and every local re-read
+                # after it, because callbacks may schedule, cancel and
+                # compact.
+                drain = self._drain
+                idx = self._drain_idx
+                heap = self._heap
+                while True:
+                    if stop_predicate is not None and stop_predicate():
+                        self._drain_idx = idx
+                        return "stopped"
+                    # Pop the earliest live entry across both tiers,
+                    # dropping cancelled entries on the way (fused peek/pop).
+                    while True:
+                        if idx < len(drain):
+                            entry = drain[idx]
+                            if heap and heap[0] < entry:
+                                entry = heappop(heap)
+                            else:
+                                idx += 1
+                        elif heap:
+                            if len(heap) > 1:
+                                heap.sort()
+                                self._drain = drain = heap
+                                self._heap = heap = []
+                                entry = drain[0]
+                                idx = 1
+                            else:
+                                entry = heap.pop()
+                        else:
+                            self._drain_idx = idx
+                            return "empty"
+                        if entry[4]:  # _CANCELLED (_EXECUTED never re-queued)
+                            self._cancelled -= 1
+                            continue
+                        break
+                    self._drain_idx = idx
+                    entry[4] = _EXECUTED
+                    self._live -= 1
+                    self._now = entry[0]
+                    self._events_processed += 1
+                    entry[2](*entry[3])
+                    drain = self._drain
+                    idx = self._drain_idx
+                    heap = self._heap
+            # General path (time and/or event-count bounds active).
+            processed = 0
             while True:
                 if stop_predicate is not None and stop_predicate():
                     return "stopped"
                 if max_events is not None and processed >= max_events:
                     return "max_events"
-                if not self._queue:
-                    return "empty"
                 next_time = self._peek_time()
-                if until_time is not None and next_time is not None and next_time > until_time:
+                if next_time is None:
+                    return "empty"
+                if until_time is not None and next_time > until_time:
                     self._now = until_time
                     return "until_time"
-                if not self.step():
-                    return "empty"
+                event = self._next_event()
+                event[_STATE] = _EXECUTED
+                self._live -= 1
+                self._now = event[_TIME]
+                self._events_processed += 1
+                event[_CALLBACK](*event[_ARGS])
                 processed += 1
         finally:
             self._running = False
-
-    def _peek_time(self) -> Optional[float]:
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-            self._cancelled -= 1
-        return self._queue[0].time if self._queue else None
 
 
 class Condition:

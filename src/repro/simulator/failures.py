@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Set
 
 from repro.errors import ConfigurationError
+from repro.simulator.process import RankState
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simulator.simulation import Simulation
@@ -72,6 +73,12 @@ class FailureInjector:
         #: The simulation refuses to declare completion while this is non-zero
         #: so a failure triggered by a rank's *last* iteration still strikes.
         self.armed_fires: int = 0
+        #: iteration-triggered events re-targeted to a surviving rank after
+        #: their trigger rank died for good (see _retarget_dead_triggers).
+        self.retargeted_events: int = 0
+        #: iteration-triggered events disarmed because no rank of theirs
+        #: survived to trigger (or suffer) them.
+        self.disarmed_events: int = 0
 
     def add(self, event: FailureEvent) -> None:
         self.events.append(event)
@@ -119,6 +126,51 @@ class FailureInjector:
         self.failed_ranks.update(alive)
         self._sim.kill_ranks(alive)
         self._sim.protocol.on_failure(alive, now)
+        self._retarget_dead_triggers()
+
+    def _retarget_dead_triggers(self) -> None:
+        """Keep iteration-triggered events firable after their trigger dies.
+
+        An unfired ``at_iteration`` event whose ``rank_trigger`` has been
+        fail-stopped -- and *not* restarted by the protocol's recovery, which
+        runs synchronously inside the failure notification -- would wait for
+        an iteration completion that can never happen, so the simulation
+        could never converge on it.  The event is re-triggered on the first
+        surviving rank of its own ``ranks`` (firing immediately if that rank
+        is already past ``at_iteration``); when no rank of the event
+        survives, the event is disarmed: every rank it would kill is already
+        dead.
+
+        Triggers that were rolled back and restarted by the protocol are
+        left alone -- they will complete their iterations again.
+        """
+        sim = self._sim
+        if sim is None:
+            return
+        for event in self.events:
+            if event.fired or event.at_iteration is None:
+                continue
+            trigger = sim.ranks.get(event.rank_trigger)
+            if trigger is None or trigger.state is not RankState.FAILED:
+                continue
+            survivor = None
+            for rank in event.ranks:
+                proc = sim.ranks.get(rank)
+                if proc is not None and proc.state is not RankState.FAILED:
+                    survivor = proc
+                    break
+            if survivor is None:
+                event.fired = True
+                self.disarmed_events += 1
+                continue
+            self.retargeted_events += 1
+            event.rank_trigger = survivor.rank
+            if survivor.completed_iterations >= event.at_iteration:
+                # The new trigger already passed the boundary: fire now (via
+                # the armed path so completion still waits for the strike).
+                event.fired = True
+                self.armed_fires += 1
+                sim.engine.schedule(0.0, self._fire_armed, event)
 
     @property
     def any_failure_injected(self) -> bool:

@@ -25,7 +25,7 @@ from __future__ import annotations
 import bisect
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -229,6 +229,15 @@ class RoutedNetworkModel:
         self.base = base
         self.topology = topology
         self.contention = ContentionModel()
+        # Hot-path bindings: routed_arrival runs once per message, so the
+        # wrapped model's methods/thresholds are resolved once here, and the
+        # per-(src, dst) link chains are memoised locally instead of
+        # re-deriving them through the topology for every message.
+        self._route_of: Dict[Tuple[int, int], Any] = {}
+        self._base_transfer_time = base.transfer_time
+        self._base_latency = base.latency
+        self._eager_threshold = base.eager_threshold_bytes
+        self._rendezvous_cost = base.rendezvous_extra_rtts * 2.0 * base.min_latency()
 
     def __getattr__(self, name: str):
         # Fallback delegation: everything the flat model exposes
@@ -260,12 +269,15 @@ class RoutedNetworkModel:
         ``RoutedNetworkModel`` instance can safely back several simulations.
         Standalone callers may omit it and use the model's own state.
         """
-        path = self.topology.route(source, dest)
+        key = (source, dest)
+        path = self._route_of.get(key)
+        if path is None:
+            path = self._route_of[key] = self.topology.route(source, dest)
         if not path:
-            return start + self.base.transfer_time(wire_bytes), 0.0
-        inject = start + self.base.latency(wire_bytes)
-        if wire_bytes > self.base.eager_threshold_bytes:
-            inject += self.base.rendezvous_extra_rtts * 2.0 * self.base.min_latency()
+            return start + self._base_transfer_time(wire_bytes), 0.0
+        inject = start + self._base_latency(wire_bytes)
+        if wire_bytes > self._eager_threshold:
+            inject += self._rendezvous_cost
         if contention is None:
             contention = self.contention
         return contention.reserve(path, wire_bytes, inject)

@@ -31,7 +31,7 @@ from repro.simulator.network import MyrinetMXModel, NetworkModel
 from repro.simulator.process import RankProcess, RankState
 from repro.simulator.protocol_api import ControlPlane, ProtocolHooks, SendAction
 from repro.simulator.requests import SendRequest
-from repro.simulator.stable_storage import StableStorage
+from repro.simulator.stable_storage import StableStorage, snapshot_strategy_for
 from repro.simulator.statistics import SimulationStatistics
 from repro.simulator.trace import TraceRecorder
 
@@ -102,7 +102,8 @@ class Simulation:
         self.trace = TraceRecorder(record_events=self.config.record_trace_events)
         self.stats = SimulationStatistics()
         self.storage = StableStorage(
-            write_bandwidth_bytes_per_s=self.config.checkpoint_write_bandwidth
+            write_bandwidth_bytes_per_s=self.config.checkpoint_write_bandwidth,
+            snapshot_strategy=snapshot_strategy_for(application),
         )
         self.control = ControlPlane(self.engine, latency_s=self.config.control_latency_s)
         self.transport = Transport(self.engine, self.network, self._on_message_arrival)
@@ -279,7 +280,13 @@ class Simulation:
         """Fail-stop the given ranks and drop messages involving them."""
         failed = set(ranks)
         for rank in failed:
-            self.ranks[rank].fail()
+            proc = self.ranks[rank]
+            if proc.done:
+                # A rank can fail *after* finishing (e.g. a failure armed by
+                # its last iteration): it no longer counts as done, or the
+                # O(1) completion predicate would fire early.
+                self._done_count -= 1
+            proc.fail()
         self.transport.drop_messages(involving=failed)
         self.stats.failures_injected += len(failed)
 
@@ -326,16 +333,20 @@ class Simulation:
         An iteration-triggered failure armed by a rank's last iteration is
         still in the queue when every rank reports done; the run must not be
         declared complete before it strikes and recovery has played out.
+
+        This predicate runs before *every* engine event, so it must be O(1):
+        ``_done_count`` tracks :meth:`all_done` incrementally (incremented in
+        :meth:`on_rank_done`, decremented when a done rank is dragged back by
+        a rollback in :meth:`restart_rank`).
         """
-        if not self.all_done():
+        if self._done_count != self.nprocs:
             return False
         injector = self.failure_injector
         return injector is None or injector.armed_fires == 0
 
     def run(self) -> SimulationResult:
         self.protocol.on_simulation_start()
-        for proc in self.ranks.values():
-            proc.start()
+        self.engine.schedule_many(proc.start() for proc in self.ranks.values())
         reason = self.engine.run(
             until_time=self.config.max_time,
             max_events=self.config.max_events,

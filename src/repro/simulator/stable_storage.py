@@ -6,15 +6,90 @@ does not rely on it).  The simulation keeps checkpoints in an in-memory store
 that survives process failures and optionally charges a write cost derived
 from a storage bandwidth, which is what creates the I/O-burst concern for
 globally coordinated checkpointing discussed in the related-work section.
+
+Snapshot strategies
+-------------------
+Saving a checkpoint used to ``copy.deepcopy`` the application state (and
+restore deep-copied it again), which dominated checkpoint-heavy runs.  The
+store now delegates to a pluggable :class:`SnapshotStrategy`:
+
+* :class:`DeepcopySnapshotStrategy` reproduces the old behaviour and remains
+  the default for arbitrary state objects;
+* :class:`ApplicationSnapshotStrategy` adapts a workload exposing
+  ``snapshot_state()`` / ``restore_state()`` (every workload in
+  :mod:`repro.workloads` does), which return immutable, structurally-shared
+  snapshots instead of deep copies.
+
+Either way the contract is identical: the stored snapshot is isolated from
+later mutations of the live state, and every ``restore_app_state()`` call
+returns a fresh, independent state.
+
+``protocol_state`` is *not* copied at all: protocol checkpoint payloads
+(:meth:`repro.simulator.protocol_api.ProtocolHooks` subclasses'
+``_checkpoint_payload``) are required to already be private snapshots --
+freshly-built structures that the protocol never mutates afterwards and that
+restoring code only reads.  All protocol payload builders in this repository
+(:class:`~repro.core.state.HydEERankState`, the message-logging rank state)
+honour that contract.
 """
 
 from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
+
+
+class SnapshotStrategy:
+    """How checkpoints capture and rebuild application state."""
+
+    def snapshot(self, state: Any) -> Any:
+        """Return an immutable/private snapshot of ``state``."""
+        raise NotImplementedError
+
+    def restore(self, snapshot: Any) -> Any:
+        """Return a fresh, independent live state built from ``snapshot``."""
+        raise NotImplementedError
+
+
+class DeepcopySnapshotStrategy(SnapshotStrategy):
+    """The conservative fallback: deep-copy on save and on every restore."""
+
+    def snapshot(self, state: Any) -> Any:
+        return copy.deepcopy(state)
+
+    def restore(self, snapshot: Any) -> Any:
+        return copy.deepcopy(snapshot)
+
+
+class ApplicationSnapshotStrategy(SnapshotStrategy):
+    """Delegate to a workload's ``snapshot_state`` / ``restore_state`` pair."""
+
+    def __init__(self, application: Any) -> None:
+        self._snapshot_state = application.snapshot_state
+        self._restore_state = application.restore_state
+
+    def snapshot(self, state: Any) -> Any:
+        return self._snapshot_state(state)
+
+    def restore(self, snapshot: Any) -> Any:
+        return self._restore_state(snapshot)
+
+
+def snapshot_strategy_for(application: Any) -> SnapshotStrategy:
+    """Pick the best snapshot strategy an application supports.
+
+    Applications exposing ``snapshot_state``/``restore_state`` (the
+    :class:`repro.workloads.base.Application` interface) get the fast
+    structurally-shared scheme; anything else falls back to deepcopy.
+    """
+    if callable(getattr(application, "snapshot_state", None)) and callable(
+        getattr(application, "restore_state", None)
+    ):
+        return ApplicationSnapshotStrategy(application)
+    return DeepcopySnapshotStrategy()
 
 
 @dataclass
@@ -22,14 +97,15 @@ class CheckpointRecord:
     """One process checkpoint.
 
     Attributes mirror line 21 of Algorithm 1: the process image (application
-    iteration + application state), the RPP table, the sender-based message
-    logs, the phase and the date.  Baseline protocols reuse the same record
-    type and simply leave the HydEE-specific fields empty.
+    iteration + application state snapshot), the RPP table, the sender-based
+    message logs, the phase and the date.  Baseline protocols reuse the same
+    record type and simply leave the HydEE-specific fields empty.
     """
 
     rank: int
     checkpoint_id: int
     iteration: int
+    #: snapshot of the application state (shape depends on the strategy).
     app_state: Any
     time: float
     #: number of application sends the rank had initiated when checkpointing
@@ -38,24 +114,43 @@ class CheckpointRecord:
     #: protocol-specific payload (dates, phases, RPP, message logs, ...).
     protocol_state: Dict[str, Any] = field(default_factory=dict)
     size_bytes: int = 0
+    #: rebuilds a live state from ``app_state`` (None = deepcopy fallback,
+    #: which keeps directly-constructed records behaving as before).
+    restore_fn: Optional[Callable[[Any], Any]] = None
 
     def restore_app_state(self) -> Any:
         """Return a private copy of the checkpointed application state."""
+        if self.restore_fn is not None:
+            return self.restore_fn(self.app_state)
         return copy.deepcopy(self.app_state)
 
 
 class StableStorage:
     """Reliable checkpoint store shared by all ranks.
 
-    ``write_bandwidth_bytes_per_s`` prices the checkpoint write; a value of
-    ``None`` makes writes free (useful for protocol-logic tests).  The store
+    ``write_bandwidth_bytes_per_s`` prices the checkpoint write; ``None`` is
+    the explicit free-writes switch (useful for protocol-logic tests), any
+    other value must be a positive bandwidth -- zero or negative values are
+    rejected at construction instead of silently meaning "free".  The store
     keeps every checkpoint but only the most recent one per rank is needed by
     the protocols (Section III-E: older checkpoints and the logged messages
     they reference are garbage collected).
     """
 
-    def __init__(self, write_bandwidth_bytes_per_s: Optional[float] = 1.0e9) -> None:
+    def __init__(
+        self,
+        write_bandwidth_bytes_per_s: Optional[float] = 1.0e9,
+        snapshot_strategy: Optional[SnapshotStrategy] = None,
+    ) -> None:
+        if write_bandwidth_bytes_per_s is not None and not (
+            write_bandwidth_bytes_per_s > 0
+        ):
+            raise ConfigurationError(
+                "write_bandwidth_bytes_per_s must be positive "
+                f"(got {write_bandwidth_bytes_per_s}); pass None for free writes"
+            )
         self.write_bandwidth_bytes_per_s = write_bandwidth_bytes_per_s
+        self.snapshot_strategy = snapshot_strategy or DeepcopySnapshotStrategy()
         self._checkpoints: Dict[int, List[CheckpointRecord]] = {}
         self._next_id = 1
         self.bytes_written = 0
@@ -63,7 +158,7 @@ class StableStorage:
 
     # ------------------------------------------------------------------ write
     def write_cost(self, size_bytes: int) -> float:
-        if not self.write_bandwidth_bytes_per_s:
+        if self.write_bandwidth_bytes_per_s is None:
             return 0.0
         return size_bytes / self.write_bandwidth_bytes_per_s
 
@@ -77,15 +172,22 @@ class StableStorage:
         protocol_state: Optional[Dict[str, Any]] = None,
         size_bytes: int = 0,
     ) -> CheckpointRecord:
+        """Store a checkpoint of ``app_state`` (snapshotted by the strategy).
+
+        ``protocol_state`` must already be a private snapshot (see the module
+        docstring); it is stored as-is.
+        """
+        strategy = self.snapshot_strategy
         record = CheckpointRecord(
             rank=rank,
             checkpoint_id=self._next_id,
             iteration=iteration,
-            app_state=copy.deepcopy(app_state),
+            app_state=strategy.snapshot(app_state),
             time=time,
             sends_at_checkpoint=sends_at_checkpoint,
-            protocol_state=copy.deepcopy(protocol_state or {}),
+            protocol_state=protocol_state if protocol_state is not None else {},
             size_bytes=size_bytes,
+            restore_fn=strategy.restore,
         )
         self._next_id += 1
         self._checkpoints.setdefault(rank, []).append(record)

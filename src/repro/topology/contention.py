@@ -62,17 +62,22 @@ class ContentionModel:
         latency is added after the transfer.  ``wait_time`` is the summed
         queueing delay behind busy links (the congestion signal).
         """
+        # Hot path: one call per message on contended topologies; dict
+        # handles are hoisted so the per-link work is a couple of lookups.
+        busy_until = self._busy_until
+        usage_map = self._usage
         t = start
         waited = 0.0
         for link in path:
-            busy = self._busy_until.get(link.name, 0.0)
+            name = link.name
+            busy = busy_until.get(name, 0.0)
             begin = busy if busy > t else t
             wait = begin - t
             serialization = wire_bytes / link.effective_bandwidth_bytes_per_s
-            self._busy_until[link.name] = begin + serialization
-            usage = self._usage.get(link.name)
+            busy_until[name] = begin + serialization
+            usage = usage_map.get(name)
             if usage is None:
-                usage = self._usage[link.name] = LinkUsage(tier=link.tier)
+                usage = usage_map[name] = LinkUsage(tier=link.tier)
             usage.messages += 1
             usage.bytes += wire_bytes
             usage.busy_s += serialization

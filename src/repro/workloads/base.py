@@ -3,7 +3,7 @@
 An application describes an SPMD MPI program as three pieces:
 
 * :meth:`Application.setup` builds the per-rank state object (plain Python
-  data; it must be ``copy.deepcopy``-able because checkpoints snapshot it),
+  data; checkpoints snapshot it through :meth:`Application.snapshot_state`),
 * :meth:`Application.iteration` is a generator performing one outer iteration
   of the program: communication calls are expressed with ``yield from
   comm.<call>(...)`` and local work with ``yield from comm.compute(t)``,
@@ -28,10 +28,74 @@ and experiments can check applicability.
 from __future__ import annotations
 
 import abc
+import copy
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, Optional
 
 from repro.errors import WorkloadError
+
+# --------------------------------------------------------------------------
+# Checkpoint snapshot helpers.
+#
+# Checkpoints used to ``copy.deepcopy`` the whole application state on every
+# save *and* every restore, which dominated checkpoint-heavy runs.  The
+# functions below implement the generic snapshot contract instead: a snapshot
+# is an *immutable, structurally shared* value (tuples all the way down) that
+# is cheap to build, safe to keep forever, and can be thawed back into a
+# fresh mutable state any number of times.  Workloads with a known state
+# shape override :meth:`Application.snapshot_state` /
+# :meth:`Application.restore_state` with something even tighter; arbitrary
+# objects inside the state fall back to ``deepcopy`` transparently.
+
+#: exact types passed through snapshots untouched (immutable scalars).
+_ATOMIC_TYPES = frozenset(
+    (int, float, str, bool, bytes, complex, type(None), frozenset)
+)
+
+#: snapshot container tags (first element of every non-atomic snapshot).
+_DICT, _LIST, _TUPLE, _SET, _OPAQUE = "d", "l", "t", "s", "x"
+
+
+def freeze_state(value: Any) -> Any:
+    """Build an immutable, structurally-shared snapshot of ``value``.
+
+    Containers become tagged tuples, immutable scalars are shared as-is and
+    anything else (numpy arrays, custom objects) is deep-copied into the
+    snapshot.  The result round-trips through :func:`thaw_state`.
+    """
+    cls = value.__class__
+    if cls in _ATOMIC_TYPES:
+        return value
+    if cls is dict:
+        return (_DICT, tuple((k, freeze_state(v)) for k, v in value.items()))
+    if cls is list:
+        return (_LIST, tuple(freeze_state(v) for v in value))
+    if cls is tuple:
+        return (_TUPLE, tuple(freeze_state(v) for v in value))
+    if cls is set:
+        return (_SET, frozenset(value))
+    return (_OPAQUE, copy.deepcopy(value))
+
+
+def thaw_state(snapshot: Any) -> Any:
+    """Rebuild a fresh, mutable state from a :func:`freeze_state` snapshot.
+
+    Every call returns an independent structure: thawing the same snapshot
+    twice never aliases mutable containers (opaque leaves are deep-copied
+    again, matching the old double-``deepcopy`` isolation guarantees).
+    """
+    if snapshot.__class__ is not tuple:
+        return snapshot
+    tag, payload = snapshot
+    if tag == _DICT:
+        return {k: thaw_state(v) for k, v in payload}
+    if tag == _LIST:
+        return [thaw_state(v) for v in payload]
+    if tag == _TUPLE:
+        return tuple(thaw_state(v) for v in payload)
+    if tag == _SET:
+        return set(payload)
+    return copy.deepcopy(payload)
 
 
 @dataclass
@@ -73,6 +137,28 @@ class Application(abc.ABC):
     @abc.abstractmethod
     def iteration(self, comm, rank: int, state: Any, it: int) -> Iterator:
         """Generator performing one application iteration."""
+
+    # ------------------------------------------------------------ checkpoints
+    def snapshot_state(self, state: Any) -> Any:
+        """Immutable snapshot of a rank's live state for a checkpoint.
+
+        The returned value must be safe to keep indefinitely: later mutations
+        of ``state`` must not show through, and it must round-trip through
+        :meth:`restore_state` into a state equivalent to ``state`` at call
+        time.  The default structurally shares immutable data and falls back
+        to ``deepcopy`` for opaque objects; workloads with a known state
+        shape override this with a tighter (faster) representation.
+        """
+        return freeze_state(state)
+
+    def restore_state(self, snapshot: Any) -> Any:
+        """Fresh mutable state rebuilt from a :meth:`snapshot_state` value.
+
+        Each call must return an *independent* state: restoring the same
+        checkpoint twice (repeated rollbacks) must never alias mutable
+        structure between the two incarnations or with the snapshot.
+        """
+        return thaw_state(snapshot)
 
     def finalize(self, comm, rank: int, state: Any) -> Iterator:
         """Generator returning the rank's final result (default: the state)."""

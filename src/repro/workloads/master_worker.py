@@ -99,6 +99,13 @@ class MasterWorkerApplication(Application):
         stop = yield from comm.recv(source=0, tag=TASK_TAG)
         assert stop.payload == -1
 
+    def snapshot_state(self, state: Dict[str, Any]) -> Any:
+        return (state["completed"], state["acc"])
+
+    def restore_state(self, snapshot: Any) -> Dict[str, Any]:
+        completed, acc = snapshot
+        return {"completed": completed, "acc": acc}
+
     def finalize(self, comm, rank: int, state: Dict[str, Any]) -> Iterator:
         return {"rank": rank, "completed": state["completed"], "acc": round(state["acc"], 9)}
         yield  # pragma: no cover

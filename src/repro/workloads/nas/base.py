@@ -143,6 +143,15 @@ class NASKernelBase(Application):
         return {"rank": rank, "checksum": state["checksum"], "received": state["received"]}
         yield  # pragma: no cover
 
+    def snapshot_state(self, state: Dict[str, Any]) -> Any:
+        # Shared by all six kernels (FT included): the per-rank state is the
+        # running checksum plus the delivery counter.
+        return (state["checksum"], state["received"])
+
+    def restore_state(self, snapshot: Any) -> Dict[str, Any]:
+        checksum, received = snapshot
+        return {"checksum": checksum, "received": received}
+
     # --------------------------------------------------------------- analysis
     def communication_matrix(self, weight: str = "bytes") -> np.ndarray:
         """Analytic per-channel volume for the configured number of iterations."""

@@ -81,6 +81,12 @@ class PingPongApplication(Application):
         return {"rank": rank, "measurements": measurements}
         yield  # pragma: no cover
 
+    def snapshot_state(self, state: Dict[str, Any]) -> Any:
+        return tuple(state["half_rtt"].items())
+
+    def restore_state(self, snapshot: Any) -> Dict[str, Any]:
+        return {"half_rtt": dict(snapshot)}
+
     def parameters(self) -> Dict[str, Any]:
         params = super().parameters()
         params.update(sizes=len(self.sizes), repeats=self.repeats,

@@ -53,6 +53,13 @@ class RingApplication(Application):
         return {"rank": rank, "value": state["value"], "received": tuple(state["received"])}
         yield  # pragma: no cover
 
+    def snapshot_state(self, state: Dict[str, Any]) -> Any:
+        return (state["value"], tuple(state["received"]))
+
+    def restore_state(self, snapshot: Any) -> Dict[str, Any]:
+        value, received = snapshot
+        return {"value": value, "received": list(received)}
+
     def parameters(self) -> Dict[str, Any]:
         params = super().parameters()
         params.update(message_bytes=self.message_bytes, compute_seconds=self.compute_seconds)
@@ -107,6 +114,12 @@ class PipelineApplication(Application):
     def finalize(self, comm, rank: int, state: Dict[str, Any]) -> Iterator:
         return {"rank": rank, "acc": state["acc"]}
         yield  # pragma: no cover
+
+    def snapshot_state(self, state: Dict[str, Any]) -> Any:
+        return state["acc"]
+
+    def restore_state(self, snapshot: Any) -> Dict[str, Any]:
+        return {"acc": snapshot}
 
     def parameters(self) -> Dict[str, Any]:
         params = super().parameters()

@@ -82,6 +82,12 @@ class Stencil1DApplication(Application):
         return {"rank": rank, "sum": local_sum}
         yield  # pragma: no cover
 
+    def snapshot_state(self, state: Dict[str, Any]) -> Any:
+        return tuple(state["cells"])
+
+    def restore_state(self, snapshot: Any) -> Dict[str, Any]:
+        return {"cells": list(snapshot)}
+
     def parameters(self) -> Dict[str, Any]:
         params = super().parameters()
         params.update(
@@ -170,6 +176,13 @@ class Stencil2DApplication(Application):
     def finalize(self, comm, rank: int, state: Dict[str, Any]) -> Iterator:
         return {"rank": rank, "value": state["value"], "halo_sum": state["halo_sum"]}
         yield  # pragma: no cover
+
+    def snapshot_state(self, state: Dict[str, Any]) -> Any:
+        return (state["value"], state["halo_sum"])
+
+    def restore_state(self, snapshot: Any) -> Dict[str, Any]:
+        value, halo_sum = snapshot
+        return {"value": value, "halo_sum": halo_sum}
 
     def parameters(self) -> Dict[str, Any]:
         params = super().parameters()

@@ -178,3 +178,77 @@ class TestCampaignCli:
         assert campaign_main(["run", str(specfile), "--store", str(storefile)]) == 0
         out = capsys.readouterr().out
         assert "8 cached" in out
+
+
+# ----------------------------------------------------------- concurrent saves
+def _concurrent_put(path: str, index: int, barrier) -> None:
+    """Worker body: open the (shared) store, add one record, save.
+
+    The barrier maximises overlap: every worker loads the store *before* any
+    of them saves, which is exactly the read-modify-write race that used to
+    drop records under last-writer-wins.
+    """
+    store = ResultsStore(path)
+    store.put(f"hash-{index}", {"name": f"rec-{index}", "result": {"status": "ok"}})
+    barrier.wait()
+    store.save()
+
+
+class TestConcurrentWriters:
+    def test_concurrent_saves_merge_all_records(self, tmp_path):
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        ctx = multiprocessing.get_context("fork")
+        path = str(tmp_path / "shared_store.json")
+        n_workers = 6
+        barrier = ctx.Barrier(n_workers)
+        workers = [
+            ctx.Process(target=_concurrent_put, args=(path, i, barrier))
+            for i in range(n_workers)
+        ]
+        for proc in workers:
+            proc.start()
+        for proc in workers:
+            proc.join(timeout=30)
+            assert proc.exitcode == 0
+        merged = ResultsStore(path)
+        assert sorted(merged) == [f"hash-{i}" for i in range(n_workers)]
+        for i in range(n_workers):
+            assert merged.get(f"hash-{i}")["name"] == f"rec-{i}"
+
+    def test_save_merges_records_written_by_another_process_in_between(self, tmp_path):
+        path = str(tmp_path / "store.json")
+        first = ResultsStore(path)
+        first.put("a", {"name": "a"})
+        first.save()
+        # Simulate another campaign writing between our load and save.
+        mine = ResultsStore(path)
+        mine.put("mine", {"name": "mine", "fresh": True})
+        other = ResultsStore(path)
+        other.put("other", {"name": "other"})
+        other.save()
+        mine.save()
+        merged = ResultsStore(path)
+        assert sorted(merged) == ["a", "mine", "other"]
+        # Our own record wins on hash collisions.
+        collider = ResultsStore(path)
+        collider.put("mine", {"name": "mine", "fresh": False})
+        collider.save()
+        assert ResultsStore(path).get("mine")["fresh"] is False
+
+    def test_clear_then_save_truncates_the_file(self, tmp_path):
+        path = str(tmp_path / "store.json")
+        store = ResultsStore(path)
+        store.put("a", {"name": "a"})
+        store.put("b", {"name": "b"})
+        store.save()
+        store.clear()
+        store.save()
+        assert len(ResultsStore(path)) == 0
+        # Saves after the deliberate truncation merge normally again.
+        late = ResultsStore(path)
+        late.put("c", {"name": "c"})
+        late.save()
+        assert sorted(ResultsStore(path)) == ["c"]

@@ -120,7 +120,7 @@ class TestHeapCompaction:
         # Far more cancellations than live events: the heap must have been
         # rebuilt at least once, dropping the cancelled entries.
         assert engine.pending_events == survivors
-        assert len(engine._queue) < total
+        assert engine._entry_count() < total
         assert engine._cancelled < total - survivors
 
     def test_cancel_heavy_schedule_still_runs_survivors_in_order(self):
@@ -164,7 +164,7 @@ class TestHeapCompaction:
         # cancelled heads but executes nothing.
         assert engine.run(until_time=0.5) == "until_time"
         assert engine.pending_events == 3
-        assert len(engine._queue) == 3
+        assert engine._entry_count() == 3
         assert engine._cancelled == 0
         assert engine.run() == "empty"
         assert engine.pending_events == 0
@@ -224,3 +224,73 @@ class TestCondition:
         condition.add_waiter(seen.append)
         condition.fire(2)
         assert seen == [2]
+
+
+class TestNonFiniteTimes:
+    """NaN/inf scheduling would silently corrupt the heap order: NaN compares
+    false against everything, so a NaN-timed entry lands at an arbitrary heap
+    position and breaks determinism.  All entry points must reject them."""
+
+    @pytest.mark.parametrize("delay", [float("nan"), float("inf")])
+    def test_schedule_rejects_non_finite_delay(self, delay):
+        engine = SimulationEngine()
+        with pytest.raises(SimulationError):
+            engine.schedule(delay, lambda: None)
+        assert engine.pending_events == 0
+
+    @pytest.mark.parametrize(
+        "time", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_schedule_at_rejects_non_finite_time(self, time):
+        engine = SimulationEngine()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(time, lambda: None)
+        assert engine.pending_events == 0
+
+    def test_schedule_many_rejects_non_finite_delay(self):
+        engine = SimulationEngine()
+        with pytest.raises(SimulationError):
+            engine.schedule_many(
+                [(0.0, lambda: None, ()), (float("nan"), lambda: None, ())]
+            )
+        # The valid entry scheduled before the bad one is kept.
+        assert engine.pending_events == 1
+
+    def test_queue_order_intact_after_rejected_nan(self):
+        engine = SimulationEngine()
+        order = []
+        engine.schedule(2.0, order.append, "b")
+        with pytest.raises(SimulationError):
+            engine.schedule(float("nan"), order.append, "poison")
+        engine.schedule(1.0, order.append, "a")
+        engine.run()
+        assert order == ["a", "b"]
+
+
+class TestScheduleMany:
+    def test_batch_matches_individual_scheduling_order(self):
+        individual = SimulationEngine()
+        batched = SimulationEngine()
+        seen_a, seen_b = [], []
+        entries = [(1.0, seen_a.append, (i,)) for i in range(5)]
+        for delay, cb, args in entries:
+            individual.schedule(delay, cb, *args)
+        batched.schedule_many((d, seen_b.append, a) for d, _cb, a in entries)
+        individual.run()
+        batched.run()
+        assert seen_a == seen_b == [0, 1, 2, 3, 4]
+
+    def test_batch_interleaves_with_single_schedules_by_time_then_seq(self):
+        engine = SimulationEngine()
+        order = []
+        engine.schedule(1.0, order.append, "x")
+        engine.schedule_many([(1.0, order.append, ("y",)), (0.5, order.append, ("z",))])
+        engine.schedule(1.0, order.append, "w")
+        engine.run()
+        assert order == ["z", "x", "y", "w"]
+        assert engine.events_processed == 4
+
+    def test_batch_updates_pending_count(self):
+        engine = SimulationEngine()
+        engine.schedule_many([(0.1, lambda: None, ()) for _ in range(7)])
+        assert engine.pending_events == 7

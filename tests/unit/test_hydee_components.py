@@ -129,12 +129,24 @@ class TestSenderLog:
     def test_snapshot_roundtrip_preserves_entries(self):
         log = SenderLog()
         log.add(dest=1, date=3, phase=1, message=self._msg(1))
-        restored = SenderLog.from_snapshot(log.snapshot())
+        snapshot = log.snapshot()
+        restored = SenderLog.from_snapshot(snapshot)
         assert len(restored) == 1
         entry = restored.entries[0]
         assert (entry.dest, entry.date, entry.phase) == (1, 3, 1)
-        # Restored messages are replay clones, independent of the live objects.
-        assert entry.message.replayed
+        # Snapshots structurally share the (immutable) entries; replaying a
+        # restored entry still goes through Message.clone_for_replay.
+        assert entry.message.clone_for_replay().replayed
+        assert not entry.message.replayed
+
+    def test_snapshot_isolated_from_later_log_mutations(self):
+        log = SenderLog()
+        log.add(dest=1, date=3, phase=1, message=self._msg(1))
+        snapshot = log.snapshot()
+        log.add(dest=1, date=9, phase=2, message=self._msg(1))
+        log.purge_acknowledged(dest=1, up_to_date=3)
+        assert len(SenderLog.from_snapshot(snapshot)) == 1
+        assert SenderLog.from_snapshot(snapshot).entries[0].date == 3
 
     def test_phases_for(self):
         log = SenderLog()

@@ -197,3 +197,106 @@ class TestFailureInjector:
         injector = FailureInjector([FailureEvent(ranks=[0], at_iteration=2)])
         assert injector.events[0].rank_trigger == 0
         assert not injector.any_failure_injected
+
+
+class TestDeadTriggerRetargeting:
+    """An iteration-triggered event whose trigger rank died for good must be
+    re-triggered on a surviving rank of the event (or disarmed when none
+    survives); otherwise the event can never fire and the run never settles."""
+
+    @staticmethod
+    def _compute_only_app(nprocs, iterations):
+        """Communication-free workload: ranks progress independently, so the
+        survivors keep completing iterations after a peer dies."""
+        from repro.workloads.base import Application
+
+        class _ComputeOnlyApp(Application):
+            name = "compute-only"
+
+            def setup(self, rank, nprocs):
+                return {"done": 0}
+
+            def iteration(self, comm, rank, state, it):
+                # Rank 0 is deliberately slow so tests can kill it before it
+                # reaches boundaries the other ranks already passed.
+                yield from comm.compute(100.0e-6 if rank == 0 else 7.0e-6)
+                state["done"] += 1
+
+        return _ComputeOnlyApp(nprocs=nprocs, iterations=iterations)
+
+    def _sim(self, events, nprocs=4, iterations=4):
+        from repro.simulator.simulation import Simulation, SimulationConfig
+
+        app = self._compute_only_app(nprocs, iterations)
+        injector = FailureInjector(events)
+        sim = Simulation(
+            app,
+            nprocs=nprocs,
+            failures=injector,
+            # No protocol: failed ranks stay dead, the run ends incomplete.
+            config=SimulationConfig(raise_on_incomplete=False),
+        )
+        return sim, injector
+
+    def test_event_retargets_to_next_surviving_rank(self):
+        events = [
+            FailureEvent(ranks=[0], time=5e-6),
+            FailureEvent(ranks=[0, 2], at_iteration=2),  # trigger = rank 0
+        ]
+        sim, injector = self._sim(events)
+        sim.run()
+        # Rank 0 died first; the iteration event re-triggered on rank 2 and
+        # fired when rank 2 completed iteration 2.
+        assert injector.retargeted_events == 1
+        assert events[1].rank_trigger == 2
+        assert events[1].fired
+        assert injector.failed_ranks == {0, 2}
+        assert len(injector.failure_times) == 2
+
+    def test_event_disarmed_when_no_rank_survives(self):
+        events = [
+            FailureEvent(ranks=[1], time=5e-6),
+            FailureEvent(ranks=[1], at_iteration=3),
+        ]
+        sim, injector = self._sim(events)
+        sim.run()
+        assert injector.disarmed_events == 1
+        assert events[1].fired  # disarmed, not pending forever
+        assert len(injector.failure_times) == 1
+        assert injector.armed_fires == 0
+
+    def test_retarget_fires_immediately_when_survivor_already_past_boundary(self):
+        # Rank 0 dies only after rank 2 has certainly completed iteration 1
+        # (time-based kill late in the run): the re-targeted event must fire
+        # right away instead of waiting for an iteration that already passed.
+        events = [
+            FailureEvent(ranks=[0], time=60e-6),
+            FailureEvent(ranks=[0, 2], at_iteration=1, rank_trigger=0),
+        ]
+        sim, injector = self._sim(events, iterations=50)
+        sim.run()
+        assert injector.retargeted_events == 1
+        assert events[1].fired
+        assert 2 in injector.failed_ranks
+        assert injector.armed_fires == 0
+
+    def test_restarted_trigger_is_left_alone(self, ring8):
+        # Under a protocol that rolls the failed rank back, the trigger is
+        # alive again by the end of the failure handling: the event must NOT
+        # be re-targeted, it will fire when the rank re-reaches the boundary.
+        from tests.conftest import run_simulation
+        from repro.ftprotocols.coordinated import CoordinatedCheckpointProtocol
+
+        events = [
+            FailureEvent(ranks=[3], time=20e-6),
+            FailureEvent(ranks=[5], at_iteration=3, rank_trigger=3),
+        ]
+        injector = FailureInjector(events)
+        protocol = CoordinatedCheckpointProtocol(checkpoint_interval=2,
+                                                 checkpoint_size_bytes=1024)
+        result, sim = run_simulation(ring8(6), 8, protocol=protocol, failures=injector)
+        assert result.completed
+        assert injector.retargeted_events == 0
+        assert events[1].rank_trigger == 3
+        assert events[1].fired
+        assert injector.failed_ranks == {3, 5}
