@@ -1,0 +1,82 @@
+"""Benchmark of Monte Carlo fault campaigns (Experiment E8).
+
+The benchmarked unit is a full efficiency-vs-MTBF campaign: HydEE and
+coordinated checkpointing, each swept over three per-rank MTBF points with
+N seeded fault-trace replicas per point, fanned through the campaign
+runner.  The assertions check the containment ordering the experiment is
+designed to show (HydEE wastes less re-executed compute than coordinated
+checkpointing at every MTBF) and that replica throughput is reported.  Run
+standalone it writes ``BENCH_montecarlo.json``.
+"""
+
+from bench_utils import ensure_src_on_path, run_and_report, timed
+
+ensure_src_on_path()
+
+from repro.analysis.efficiency import (  # noqa: E402
+    containment_holds,
+    render_efficiency,
+    run_efficiency_experiment,
+    wasted_work_by_protocol,
+)
+
+NPROCS = 16
+ITERATIONS = 6
+REPLICAS = 20
+MTBF_FACTORS = (4.0, 8.0, 16.0)
+PROTOCOLS = ("hydee", "coordinated")
+
+
+def _run_sweep():
+    return run_efficiency_experiment(
+        nprocs=NPROCS,
+        iterations=ITERATIONS,
+        protocols=PROTOCOLS,
+        mtbf_factors=MTBF_FACTORS,
+        replicas=REPLICAS,
+    )
+
+
+def test_montecarlo_benchmark(benchmark):
+    rows = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    print()
+    print(render_efficiency(rows))
+    # The paper's qualitative ordering: containment pays at every MTBF.
+    assert containment_holds(rows)
+    for row in rows:
+        assert row.completed_replicas > 0
+        assert row.replicas == REPLICAS
+    by_key = {(r.protocol, r.mtbf_s): r for r in rows}
+    for (protocol, mtbf), row in by_key.items():
+        if protocol == "hydee":
+            assert row.ranks_rolled_back_mean < \
+                by_key[("coordinated", mtbf)].ranks_rolled_back_mean
+
+
+def _build_report() -> dict:
+    rows, elapsed = timed(_run_sweep)
+    replica_sims = sum(row.replicas for row in rows)
+    wasted = {
+        f"{mtbf * 1e3:.3f}ms": {k: round(v * 1e6, 2) for k, v in sorted(point.items())}
+        for mtbf, point in sorted(wasted_work_by_protocol(rows).items())
+    }
+    return {
+        "benchmark": "montecarlo",
+        "nprocs": NPROCS,
+        "replicas_per_point": REPLICAS,
+        "mtbf_factors": list(MTBF_FACTORS),
+        "protocols": list(PROTOCOLS),
+        "replica_sims": replica_sims,
+        "elapsed_s": round(elapsed, 3),
+        "replicas_per_s": round(replica_sims / elapsed, 1) if elapsed > 0 else 0.0,
+        "containment_holds": containment_holds(rows),
+        "wasted_work_us": wasted,
+    }
+
+
+def main() -> int:
+    return run_and_report("montecarlo", _build_report)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

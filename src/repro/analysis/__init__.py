@@ -43,6 +43,13 @@ from repro.analysis.congestion import (
     render_congestion,
     run_congestion_experiment,
 )
+from repro.analysis.efficiency import (
+    EFFICIENCY,
+    containment_holds,
+    render_efficiency,
+    run_efficiency_experiment,
+    wasted_work_by_protocol,
+)
 from repro.analysis.reporting import format_dict_table, format_series, format_table, percent
 
 __all__ = [
@@ -72,6 +79,11 @@ __all__ = [
     "run_congestion_experiment",
     "render_congestion",
     "recovery_divergence",
+    "EFFICIENCY",
+    "run_efficiency_experiment",
+    "render_efficiency",
+    "wasted_work_by_protocol",
+    "containment_holds",
     "format_table",
     "format_dict_table",
     "format_series",

@@ -42,6 +42,8 @@ ANALYSES: Dict[str, str] = {
     "cluster-sweep": "repro.analysis.table1:cluster_sweep_job",
     "piggyback-policy": "repro.analysis.perf_model:piggyback_policy_job",
     "congestion-recovery": "repro.analysis.congestion:congestion_job",
+    "montecarlo": "repro.faults.montecarlo:montecarlo_job",
+    "montecarlo-replica": "repro.faults.montecarlo:replica_job",
 }
 
 

@@ -25,6 +25,7 @@ from repro.experiments import (  # noqa: F401  (re-exported for convenience)
     ablation_clusters,
     ablation_piggyback,
     congestion_recovery,
+    efficiency_mtbf,
     figure5,
     figure6,
     recovery_containment,
@@ -37,6 +38,7 @@ __all__ = [
     "figure6",
     "recovery_containment",
     "congestion_recovery",
+    "efficiency_mtbf",
     "ablation_piggyback",
     "ablation_clusters",
 ]

@@ -16,6 +16,7 @@ from repro.experiments import (
     ablation_clusters,
     ablation_piggyback,
     congestion_recovery,
+    efficiency_mtbf,
     figure5,
     figure6,
     recovery_containment,
@@ -29,6 +30,7 @@ EXPERIMENTS: Dict[str, Callable[[Optional[Sequence[str]]], int]] = {
     "figure6": figure6.main,
     "recovery-containment": recovery_containment.main,
     "congestion-recovery": congestion_recovery.main,
+    "efficiency-mtbf": efficiency_mtbf.main,
     "ablation-piggyback": ablation_piggyback.main,
     "ablation-clusters": ablation_clusters.main,
 }

@@ -1,0 +1,249 @@
+"""Monte Carlo fault campaigns: N seeded replicas through the campaign runner.
+
+A Monte Carlo campaign takes one scenario with a
+:class:`~repro.faults.spec.FaultModelSpec` and fans out N *replicas*:
+copies of the spec that differ only in ``fault_model.replica``.  Because
+the replica index is part of the spec (and of every RNG stream key), each
+replica
+
+* draws an independent failure trace, byte-identically in any process --
+  serial and ``--workers N`` campaigns produce the same records and the
+  same store files;
+* has its own spec hash, so completed replicas cache individually and a
+  re-run with more replicas only executes the new ones.
+
+Replicas run the ``montecarlo-replica`` job (the ``simulate`` payload plus
+``sim.total_compute_time``, the counter wasted-work analyses need);
+:func:`aggregate_metrics` folds their per-replica metric trees into
+mean/stddev/CI statistics under the ``faults.`` namespace
+(``faults.sim.makespan.mean``, ``faults.sim.recovery_time.ci95``, ...).
+
+Two entry points:
+
+* :func:`run_montecarlo` -- library API: expand, run (optionally fanned
+  out over worker processes and cached in a store), aggregate;
+* :func:`montecarlo_job` -- the registered ``montecarlo`` campaign job,
+  for spec files: one spec tagged ``{"analysis": "montecarlo",
+  "replicas": N}`` runs its replicas in-process and stores the aggregate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.campaign.store import ResultsStore
+from repro.errors import ConfigurationError
+from repro.results.metrics import MetricSet
+from repro.results.run import RunResult, make_payload
+from repro.scenarios.spec import ScenarioSpec
+
+#: metric namespaces folded into ``faults.*`` statistics (link-level trees
+#: are per-topology detail, not Monte Carlo observables).
+AGGREGATE_NAMESPACES = ("sim", "protocol")
+
+DEFAULT_REPLICAS = 20
+
+
+# ----------------------------------------------------------------- replicas
+def replica_specs(
+    base: ScenarioSpec,
+    replicas: int,
+    analysis: str = "montecarlo-replica",
+) -> List[ScenarioSpec]:
+    """The N replica scenarios of ``base`` (``fault_model.replica`` = 0..N-1).
+
+    Each replica keeps the base tags (so experiment filters keep matching),
+    gains ``replica``/``mc_base`` provenance tags, and runs ``analysis``
+    (the per-replica job) instead of the base spec's own analysis.
+    """
+    if base.fault_model is None:
+        raise ConfigurationError(
+            f"scenario {base.name!r} has no fault_model: Monte Carlo replicas "
+            "re-draw a stochastic fault model, there is nothing to re-draw"
+        )
+    if replicas < 1:
+        raise ConfigurationError(f"a Monte Carlo campaign needs replicas >= 1, got {replicas}")
+    # The campaign identity must not depend on how many replicas were
+    # requested or how the campaign was launched (direct call vs the
+    # 'montecarlo' job tag): strip both before hashing, or growing a
+    # campaign would re-key -- and re-simulate -- every replica.
+    base_tags = dict(base.tags)
+    base_tags.pop("replicas", None)
+    base_tags.pop("analysis", None)
+    base_hash = dataclasses.replace(base, tags=base_tags).spec_hash()
+    specs: List[ScenarioSpec] = []
+    for index in range(replicas):
+        tags = dict(base.tags)
+        tags.pop("replicas", None)
+        tags.update({"analysis": analysis, "replica": index, "mc_base": base_hash})
+        specs.append(
+            dataclasses.replace(
+                base,
+                name=f"{base.name}#r{index}",
+                fault_model=dataclasses.replace(base.fault_model, replica=index),
+                tags=tags,
+            )
+        )
+    return specs
+
+
+# -------------------------------------------------------------- aggregation
+def _numeric(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def aggregate_metrics(runs: Sequence[RunResult]) -> MetricSet:
+    """Fold per-replica metric trees into ``faults.*`` statistics.
+
+    Every numeric ``sim.*`` / ``protocol.*`` leaf present in *all* completed
+    replicas gains ``.mean``, ``.std`` (sample stddev), ``.ci95`` (normal
+    95% half-width), ``.min`` and ``.max`` under ``faults.<path>``.
+    Replicas that did not complete are excluded from the statistics but
+    counted in ``faults.replicas`` vs ``faults.completed_replicas``.
+    """
+    metrics = MetricSet()
+    completed = [run for run in runs if run.completed]
+    metrics.set("faults.replicas", len(runs))
+    metrics.set("faults.completed_replicas", len(completed))
+    if not completed:
+        return metrics
+
+    paths = None
+    for run in completed:
+        run_paths = {
+            path
+            for path in run.metrics
+            if path.split(".", 1)[0] in AGGREGATE_NAMESPACES
+            and _numeric(run.metric(path))
+        }
+        paths = run_paths if paths is None else (paths & run_paths)
+    for path in sorted(paths or ()):
+        values = [float(run.metric(path)) for run in completed]
+        n = len(values)
+        mean = sum(values) / n
+        if n > 1:
+            std = math.sqrt(sum((v - mean) ** 2 for v in values) / (n - 1))
+        else:
+            std = 0.0
+        metrics.set(f"faults.{path}.mean", mean)
+        metrics.set(f"faults.{path}.std", std)
+        metrics.set(f"faults.{path}.ci95", 1.96 * std / math.sqrt(n))
+        metrics.set(f"faults.{path}.min", min(values))
+        metrics.set(f"faults.{path}.max", max(values))
+    return metrics
+
+
+@dataclass
+class MonteCarloResult:
+    """Outcome of :func:`run_montecarlo`: replicas + their aggregate."""
+
+    base: ScenarioSpec
+    runs: Tuple[RunResult, ...]
+    metrics: MetricSet
+    cache_hits: int = 0
+    executed: int = 0
+
+    @property
+    def replicas(self) -> int:
+        return len(self.runs)
+
+    @property
+    def completed_replicas(self) -> int:
+        return sum(1 for run in self.runs if run.completed)
+
+    def metric(self, path: str, default: Any = None) -> Any:
+        """Aggregate lookup (``faults.sim.makespan.mean``, ...)."""
+        return self.metrics.get(path, default)
+
+
+def run_montecarlo(
+    base: ScenarioSpec,
+    replicas: int = DEFAULT_REPLICAS,
+    workers: int = 1,
+    store: Optional[ResultsStore] = None,
+    force: bool = False,
+) -> MonteCarloResult:
+    """Fan N replicas of ``base`` through the campaign runner and aggregate.
+
+    Replicas are embarrassingly parallel (``workers``) and individually
+    cached by spec hash (``store``); the aggregate is recomputed from the
+    records, so a fully-cached campaign aggregates without simulating.
+    """
+    from repro.campaign.runner import run_campaign
+
+    outcome = run_campaign(
+        replica_specs(base, replicas), workers=workers, store=store, force=force
+    )
+    runs = tuple(RunResult.from_record(record) for record in outcome.records)
+    return MonteCarloResult(
+        base=base,
+        runs=runs,
+        metrics=aggregate_metrics(runs),
+        cache_hits=outcome.cache_hits,
+        executed=outcome.executed,
+    )
+
+
+# --------------------------------------------------------------------- jobs
+def replica_job(spec: ScenarioSpec) -> Tuple[Dict[str, Any], Any]:
+    """Per-replica campaign job: simulate plus the wasted-work counter.
+
+    The payload is the run's full metric tree with
+    ``sim.total_compute_time`` added (re-executed compute is what failure
+    *containment* saves; the plain ``simulate`` payload cannot grow this
+    metric without invalidating pre-fault-model caches).
+
+    A replica whose drawn trace trips a *runtime* protocol corner case
+    (e.g. a strike landing exactly as a recovery session winds down) is
+    recorded as a deterministic ``error:`` record instead of tearing down
+    the whole campaign: Monte Carlo statistics must not silently select
+    for calm replicas, so the aggregate reports such replicas as not
+    completed.  Misconfiguration (:class:`ConfigurationError`) is the same
+    in every replica and propagates loudly instead.
+    """
+    from repro.campaign.jobs import jsonify
+    from repro.errors import ProtocolError, SimulationError
+    from repro.scenarios.build import build
+
+    try:
+        result = build(spec).run()
+    except (SimulationError, ProtocolError) as exc:
+        payload = make_payload(
+            f"error:{type(exc).__name__}", None, {"error": str(exc)}
+        )
+        return jsonify(payload), None
+    metrics = MetricSet()
+    metrics.merge(result.metrics)
+    metrics.set("sim.total_compute_time", result.stats.total_compute_time)
+    payload = make_payload(result.status, metrics, {"rank_states": result.rank_states})
+    return jsonify(payload), result
+
+
+def montecarlo_job(spec: ScenarioSpec) -> Tuple[Dict[str, Any], Any]:
+    """The registered ``montecarlo`` job: aggregate N in-process replicas.
+
+    The spec's ``tags["replicas"]`` (default ``20``) fixes the replica
+    count.  Replicas run serially inside this job -- the campaign runner
+    already fans the *montecarlo specs themselves* out over workers, and
+    nested pools would not be deterministic-by-construction.
+    """
+    from repro.campaign.jobs import jsonify
+
+    replicas = spec.tags.get("replicas", DEFAULT_REPLICAS)
+    if not isinstance(replicas, int) or isinstance(replicas, bool) or replicas < 1:
+        raise ConfigurationError(
+            f"montecarlo scenario {spec.name!r}: tags['replicas'] must be a "
+            f"positive integer, got {replicas!r}"
+        )
+    result = run_montecarlo(spec, replicas=replicas, workers=1)
+    data = {
+        "replicas": [
+            {"name": run.name, "spec_hash": run.spec_hash, "status": run.status}
+            for run in result.runs
+        ],
+    }
+    payload = make_payload("completed", result.metrics, data)
+    return jsonify(payload), result

@@ -9,7 +9,10 @@ segment is the namespace; the conventional ones are
 * ``protocol.*`` -- fault-tolerance protocol counters (the old ``pstats_``
   prefix hack and ``describe()`` spillover, now collision-checked),
 * ``network.*``  -- topology description and aggregate contention,
-* ``links.*``    -- per-link / per-tier traffic of contended topologies.
+* ``links.*``    -- per-link / per-tier traffic of contended topologies,
+* ``faults.*``   -- Monte Carlo aggregates over fault-model replicas
+  (``faults.<metric path>.mean/std/ci95/min/max``, see
+  :mod:`repro.faults.montecarlo`).
 
 Setting a path twice, or setting a path that is both a leaf and a
 namespace, raises :class:`~repro.errors.ConfigurationError` -- duplicate
@@ -32,6 +35,7 @@ _MISSING = object()
 METRIC_UNITS: Dict[str, str] = {
     "sim.makespan": "s",
     "sim.recovery_time": "s",
+    "sim.total_compute_time": "s",
 }
 
 #: ``(suffix, unit)`` conventions applied to the last path segment.

@@ -48,7 +48,7 @@ def migrate_record(record: Mapping[str, Any]) -> Dict[str, Any]:
         )
     analysis = record.get("analysis", "simulate")
     if analysis == "simulate":
-        migrated = _migrate_simulate(result)
+        migrated = _migrate_simulate(result, record.get("spec") or {})
     elif analysis == "table1-row":
         migrated = _migrate_table1(result)
     elif analysis == "congestion-recovery":
@@ -64,7 +64,7 @@ def migrate_record(record: Mapping[str, Any]) -> Dict[str, Any]:
     return out
 
 
-def _migrate_simulate(result: Mapping[str, Any]) -> Dict[str, Any]:
+def _migrate_simulate(result: Mapping[str, Any], spec: Mapping[str, Any]) -> Dict[str, Any]:
     stats = dict(result["stats"])
     extra = dict(stats.pop("extra", {}) or {})
     protocol_name = stats.pop("protocol", None)
@@ -74,6 +74,23 @@ def _migrate_simulate(result: Mapping[str, Any]) -> Dict[str, Any]:
         metrics.set(f"sim.{key}", value)
     metrics.set("sim.replayed_messages", extra.pop("replayed_messages", 0))
     metrics.set("sim.suppressed_duplicates", extra.pop("suppressed_duplicates", 0))
+    if (spec.get("failures") or spec.get("fault_model")) \
+            and str(result.get("status")) == "completed":
+        # Fresh v2 runs with a failure injector publish its health counters.
+        # v1 predates them, so the migration reconstructs their values for a
+        # *completed* run: no strike left armed, and -- since the v1
+        # injector never re-fired a rank -- exactly one distinct failed rank
+        # per injected failure.  Retargets/disarms were not counted in v1
+        # and are migrated as 0 (the overwhelmingly common value; a v1
+        # store holding a retargeting run would need a fresh re-run to
+        # recover them).  For a non-completed v1 run none of this can be
+        # reconstructed (a strike may genuinely have been left armed), so
+        # the counters are omitted rather than invented.
+        metrics.set("sim.injector.armed_fires", 0)
+        metrics.set("sim.injector.deferred_fires", 0)
+        metrics.set("sim.injector.disarmed_events", 0)
+        metrics.set("sim.injector.failed_ranks", stats.get("failures_injected", 0))
+        metrics.set("sim.injector.retargeted_events", 0)
     extra.pop("protocol", None)
     metrics.set("protocol.name", protocol_name if protocol_name is not None else "none")
     for key in sorted(extra):

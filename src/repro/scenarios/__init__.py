@@ -15,6 +15,7 @@ hand.  Quick use::
     result = build(spec).run()
 """
 
+from repro.faults.spec import FaultModelSpec
 from repro.scenarios.spec import (
     ClusteringSpec,
     FailureSpec,
@@ -54,6 +55,7 @@ __all__ = [
     "NetworkSpec",
     "TopologySpec",
     "FailureSpec",
+    "FaultModelSpec",
     "load_specs",
     "build",
     "build_topology",

@@ -221,7 +221,25 @@ def build_protocol(
     return make_protocol(name, **options)
 
 
-def build_failures(spec: ScenarioSpec) -> Optional[FailureInjector]:
+def build_failures(
+    spec: ScenarioSpec, topology: Optional[Topology] = None
+) -> Optional[FailureInjector]:
+    """Materialise the spec's failure source into an injector.
+
+    Explicit ``failures`` map one-to-one onto events; a ``fault_model``
+    draws its :class:`~repro.faults.trace.FailureTrace` here, ahead of
+    simulation (``topology`` optionally passes the scenario's already-built
+    physical topology so node/cluster fault scopes reuse it).  A fault
+    model always gets an injector -- even for a replica whose draw came up
+    empty -- so every Monte Carlo replica publishes the same metric paths.
+    """
+    if spec.fault_model is not None:
+        from repro.faults.trace import generate_trace
+
+        if not isinstance(topology, Topology):
+            topology = build_topology(spec.network.topology, spec.workload.nprocs)
+        trace = generate_trace(spec.fault_model, spec.workload.nprocs, topology)
+        return FailureInjector(trace.to_failure_events())
     if not spec.failures:
         return None
     return FailureInjector(
@@ -261,6 +279,6 @@ def build(spec: ScenarioSpec) -> Simulation:
         build_application(spec.workload),
         nprocs=spec.workload.nprocs,
         protocol=build_protocol(spec, topology=topology),
-        failures=build_failures(spec),
+        failures=build_failures(spec, topology=topology),
         config=config,
     )

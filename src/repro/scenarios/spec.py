@@ -24,6 +24,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
+from repro.faults.spec import FaultModelSpec
+from repro.simulator.failures import validate_failure_group
 
 
 def _freeze_mapping(value: Optional[Mapping[str, Any]]) -> Dict[str, Any]:
@@ -193,11 +195,19 @@ class FailureSpec:
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "ranks", tuple(int(r) for r in self.ranks))
-        if not self.ranks:
-            raise ConfigurationError("a failure spec needs at least one rank")
+        validate_failure_group("failure spec", self.ranks, self.time)
         if (self.time is None) == (self.at_iteration is None):
             raise ConfigurationError(
                 "specify exactly one of `time` or `at_iteration` for a failure spec"
+            )
+        if self.rank_trigger is not None and self.rank_trigger not in self.ranks:
+            # Unlike the simulator-level FailureEvent, the declarative layer
+            # requires the trigger to be one of the failing ranks: only then
+            # can the injector always re-target the event if the trigger
+            # rank dies before reaching its iteration boundary.
+            raise ConfigurationError(
+                f"failure spec rank_trigger {self.rank_trigger} is not one of "
+                f"its ranks {list(self.ranks)}"
             )
 
 
@@ -217,6 +227,12 @@ class ScenarioSpec:
     protocol: ProtocolSpec = field(default_factory=ProtocolSpec)
     network: NetworkSpec = field(default_factory=NetworkSpec)
     failures: Tuple[FailureSpec, ...] = ()
+    #: stochastic fault model (:mod:`repro.faults`): failures are *drawn*
+    #: from a seeded distribution at build() time instead of listed by
+    #: hand.  Mutually exclusive with ``failures``; ``None`` is omitted
+    #: from the serialised form, so pre-fault-model spec hashes are
+    #: unchanged.
+    fault_model: Optional[FaultModelSpec] = None
     config: Dict[str, Any] = field(default_factory=dict)
     tags: Dict[str, Any] = field(default_factory=dict)
 
@@ -224,6 +240,14 @@ class ScenarioSpec:
         object.__setattr__(self, "failures", tuple(self.failures))
         object.__setattr__(self, "config", _freeze_mapping(self.config))
         object.__setattr__(self, "tags", _freeze_mapping(self.tags))
+        if isinstance(self.fault_model, Mapping):
+            object.__setattr__(self, "fault_model", FaultModelSpec(**self.fault_model))
+        if self.fault_model is not None and self.failures:
+            raise ConfigurationError(
+                f"scenario {self.name!r} declares both an explicit failure "
+                "list and a fault_model; failures come from exactly one "
+                "source (drop one of the two)"
+            )
 
     # -------------------------------------------------------------- json i/o
     def to_dict(self) -> Dict[str, Any]:
@@ -233,6 +257,10 @@ class ScenarioSpec:
         # layer existed, keeping their spec hashes (= cache keys) stable.
         if data["network"].get("topology") is None:
             del data["network"]["topology"]
+        # Same contract for the fault-model layer: specs without one keep
+        # their pinned pre-fault-model hashes.
+        if data.get("fault_model") is None:
+            data.pop("fault_model", None)
         return data
 
     @classmethod
@@ -253,11 +281,16 @@ class ScenarioSpec:
         network_data = data.pop("network", None)
         network = NetworkSpec(**network_data) if network_data else NetworkSpec()
         failures = tuple(FailureSpec(**f) for f in data.pop("failures", ()) or ())
+        fault_model_data = data.pop("fault_model", None)
+        fault_model = (
+            FaultModelSpec(**fault_model_data) if fault_model_data else None
+        )
         return cls(
             workload=workload,
             protocol=protocol,
             network=network,
             failures=failures,
+            fault_model=fault_model,
             **data,
         )
 
@@ -290,6 +323,8 @@ class ScenarioSpec:
         ]
         if self.failures:
             parts.append(f"failures={len(self.failures)}")
+        if self.fault_model is not None:
+            parts.append(f"faults[{self.fault_model.describe()}]")
         return " ".join(parts)
 
 

@@ -17,14 +17,39 @@ processes' clusters only).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Set
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.simulator.process import RankState
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simulator.simulation import Simulation
+
+
+def validate_failure_group(what: str, ranks: Sequence[int],
+                           time: Optional[float]) -> None:
+    """Shared (ranks, time) validation of every failure-description layer.
+
+    :class:`FailureEvent`, the declarative
+    :class:`~repro.scenarios.spec.FailureSpec` and the trace-level
+    :class:`~repro.faults.trace.TraceEntry` all describe "these ranks fail
+    together at this time" and share one rule set: at least one rank, no
+    duplicates, and -- when a time is given -- a finite number >= 0.
+    """
+    if not ranks:
+        raise ConfigurationError(f"a {what} needs at least one rank")
+    if len(set(ranks)) != len(ranks):
+        raise ConfigurationError(f"a {what} lists duplicate ranks: {list(ranks)}")
+    if time is not None:
+        if not isinstance(time, (int, float)) or isinstance(time, bool) \
+                or not math.isfinite(time):
+            raise ConfigurationError(
+                f"{what} time must be a finite number, got {time!r}"
+            )
+        if time < 0:
+            raise ConfigurationError(f"{what} time must be >= 0, got {time!r}")
 
 
 @dataclass
@@ -49,20 +74,44 @@ class FailureEvent:
     at_iteration: Optional[int] = None
     rank_trigger: Optional[int] = None
     fired: bool = field(default=False, init=False)
+    #: times this event's strike was postponed behind an active recovery
+    #: session (see FailureInjector.RETRY_DELAY_S / MAX_EVENT_DEFERRALS).
+    deferrals: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
-        if not self.ranks:
-            raise ConfigurationError("a failure event needs at least one rank")
+        validate_failure_group("failure event", self.ranks, self.time)
         if (self.time is None) == (self.at_iteration is None):
             raise ConfigurationError(
                 "specify exactly one of `time` or `at_iteration` for a failure event"
             )
         if self.rank_trigger is None:
             self.rank_trigger = self.ranks[0]
+        # NOTE: a trigger *outside* ranks stays legal at this level ("kill X
+        # when Y completes iteration N" is a useful test harness); the
+        # declarative FailureSpec is stricter because retargeting after the
+        # trigger dies only works within the event's own ranks.
 
 
 class FailureInjector:
-    """Schedules and fires :class:`FailureEvent` objects."""
+    """Schedules and fires :class:`FailureEvent` objects.
+
+    A strike that lands while the protocol's recovery session is still
+    active is *deferred*: re-scheduled every :data:`RETRY_DELAY_S` until
+    recovery completes, then fired.  The paper's protocols handle multiple
+    *simultaneous* failures (one event, several ranks) but model recovery
+    sessions as non-overlapping; stochastic fault traces
+    (:mod:`repro.faults`) routinely draw a failure inside another
+    failure's recovery window, and killing the run there would bias every
+    Monte Carlo statistic toward calm replicas.
+    """
+
+    #: deferral quantum for strikes landing during an active recovery.
+    RETRY_DELAY_S = 5.0e-5
+    #: per-event cap on consecutive deferrals: 100k x RETRY_DELAY_S = five
+    #: simulated seconds of one uninterrupted recovery session, orders of
+    #: magnitude past any legal scenario -- only a protocol whose
+    #: recovery_in_progress() is stuck true can reach it.
+    MAX_EVENT_DEFERRALS = 100_000
 
     def __init__(self, events: Optional[Iterable[FailureEvent]] = None) -> None:
         self.events: List[FailureEvent] = list(events or [])
@@ -79,6 +128,9 @@ class FailureInjector:
         #: iteration-triggered events disarmed because no rank of theirs
         #: survived to trigger (or suffer) them.
         self.disarmed_events: int = 0
+        #: strikes postponed because a recovery session was still active
+        #: (each RETRY_DELAY_S postponement counts once).
+        self.deferred_fires: int = 0
 
     def add(self, event: FailureEvent) -> None:
         self.events.append(event)
@@ -87,6 +139,19 @@ class FailureInjector:
     def attach(self, sim: "Simulation") -> None:
         self._sim = sim
         for event in self.events:
+            bad = [r for r in event.ranks if r not in sim.ranks]
+            if bad:
+                raise ConfigurationError(
+                    f"failure event names ranks {bad} outside the simulation's "
+                    f"0..{sim.nprocs - 1}"
+                )
+            if event.rank_trigger is not None and event.rank_trigger not in sim.ranks:
+                # An out-of-range trigger would never complete an iteration:
+                # the event could silently never fire.
+                raise ConfigurationError(
+                    f"failure event trigger rank {event.rank_trigger} is "
+                    f"outside the simulation's 0..{sim.nprocs - 1}"
+                )
             if event.time is not None:
                 sim.engine.schedule_at(event.time, self._fire, event)
 
@@ -108,7 +173,31 @@ class FailureInjector:
                 event.fired = True
 
     # ------------------------------------------------------------------ firing
+    def _recovery_active(self) -> bool:
+        return self._sim is not None and self._sim.protocol.recovery_in_progress()
+
+    def _defer(self, callback, event: FailureEvent) -> None:
+        self.deferred_fires += 1
+        event.deferrals += 1
+        if event.deferrals > self.MAX_EVENT_DEFERRALS:
+            # A recovery session that never winds down is a protocol bug;
+            # without this guard the retry event would keep the queue
+            # non-empty forever and mask what should be a deadlock report.
+            # (Per event, not run-wide: a dense-but-legal trace may rack up
+            # many deferrals in total across many strikes.)
+            raise SimulationError(
+                f"one failure strike deferred more than "
+                f"{self.MAX_EVENT_DEFERRALS} times: the protocol reports "
+                "recovery_in_progress() indefinitely"
+            )
+        self._sim.engine.schedule(self.RETRY_DELAY_S, callback, event)
+
     def _fire_armed(self, event: FailureEvent) -> None:
+        if self._recovery_active():
+            # Stay armed (the completion predicate keeps waiting) and try
+            # again once the ongoing recovery session has wound down.
+            self._defer(self._fire_armed, event)
+            return
         self.armed_fires -= 1
         self._fire(event)
 
@@ -117,8 +206,24 @@ class FailureInjector:
             return
         if event.time is not None and event.fired:
             return
+        if self._recovery_active():
+            # Arm the strike while it waits: its nominal time has passed, so
+            # the run must not be declared complete before it lands (same
+            # contract as an iteration-triggered strike armed by a rank's
+            # last iteration).
+            self.armed_fires += 1
+            self._defer(self._fire_armed, event)
+            return
         event.fired = True
-        alive = [r for r in event.ranks if r not in self.failed_ranks]
+        # "Alive" is the rank's *current* state, not failure history: a rank
+        # that failed, was rolled back and restarted by the protocol can fail
+        # again (stochastic fault traces routinely re-draw the same node).
+        # Ranks that are dead right now are skipped, as before.
+        alive = []
+        for rank in event.ranks:
+            proc = self._sim.ranks.get(rank)
+            if proc is not None and proc.state is not RankState.FAILED:
+                alive.append(rank)
         if not alive:
             return
         now = self._sim.engine.now

@@ -402,6 +402,16 @@ class Simulation:
         the single point where the namespaces meet.
         """
         metrics = self.stats.sim_metrics()
+        injector = self.failure_injector
+        if injector is not None:
+            # Injector health: campaigns filter on these to catch scenarios
+            # whose failure schedule silently degenerated (all events
+            # disarmed, armed strikes left hanging, nobody actually killed).
+            metrics.set("sim.injector.armed_fires", injector.armed_fires)
+            metrics.set("sim.injector.deferred_fires", injector.deferred_fires)
+            metrics.set("sim.injector.disarmed_events", injector.disarmed_events)
+            metrics.set("sim.injector.failed_ranks", len(injector.failed_ranks))
+            metrics.set("sim.injector.retargeted_events", injector.retargeted_events)
         metrics.merge(self.protocol.metrics())
         topology = self.transport.topology
         if topology is not None and topology.has_shared_links:

@@ -385,3 +385,31 @@ class TestTopologySpec:
         assert result.metric("network.topology.clusters") == 4
         assert "links.tiers.inter-cluster" in result.metrics
         assert result.metric("network.contention_wait_s") >= 0.0
+
+
+class TestFailureSpecValidation:
+    """PR-5 validation hardening of the declarative failure layer."""
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FailureSpec(ranks=(1,), time=-1.0)
+
+    def test_non_finite_times_rejected(self):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ConfigurationError):
+                FailureSpec(ranks=(1,), time=bad)
+
+    def test_duplicate_ranks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FailureSpec(ranks=(4, 4), time=1e-3)
+
+    def test_trigger_outside_ranks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FailureSpec(ranks=(5,), at_iteration=3, rank_trigger=3)
+
+    def test_trigger_inside_ranks_accepted(self):
+        spec = FailureSpec(ranks=(3, 5), at_iteration=3, rank_trigger=5)
+        assert spec.rank_trigger == 5
+
+    def test_valid_time_spec_accepted(self):
+        assert FailureSpec(ranks=(1, 2), time=0.0).time == 0.0

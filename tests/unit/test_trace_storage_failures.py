@@ -300,3 +300,173 @@ class TestDeadTriggerRetargeting:
         assert events[1].rank_trigger == 3
         assert events[1].fired
         assert injector.failed_ranks == {3, 5}
+
+
+class TestFailureEventValidation:
+    """PR-5 validation hardening: malformed events are configuration errors."""
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FailureEvent(ranks=[1], time=-1e-6)
+
+    def test_non_finite_time_rejected(self):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ConfigurationError):
+                FailureEvent(ranks=[1], time=bad)
+
+    def test_duplicate_ranks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FailureEvent(ranks=[2, 3, 2], time=1e-6)
+
+    def test_zero_time_still_legal(self):
+        assert FailureEvent(ranks=[0], time=0.0).time == 0.0
+
+    def test_cross_rank_trigger_still_legal_at_event_level(self):
+        # "Kill rank 5 when rank 3 completes iteration 2" stays a supported
+        # simulator-level harness tool (the declarative FailureSpec is
+        # stricter, see test_scenarios).
+        event = FailureEvent(ranks=[5], at_iteration=2, rank_trigger=3)
+        assert event.rank_trigger == 3
+
+
+class TestInjectorHealthMetrics:
+    """The injector's health counters surface as sim.injector.* metrics."""
+
+    def test_counters_surface_for_runs_with_an_injector(self, ring8):
+        from tests.conftest import run_simulation
+        from repro.ftprotocols.coordinated import CoordinatedCheckpointProtocol
+
+        injector = FailureInjector([FailureEvent(ranks=[3], time=20e-6)])
+        protocol = CoordinatedCheckpointProtocol(checkpoint_interval=2,
+                                                 checkpoint_size_bytes=1024)
+        result, _ = run_simulation(ring8(4), 8, protocol=protocol, failures=injector)
+        assert result.metric("sim.injector.failed_ranks") == 1
+        assert result.metric("sim.injector.armed_fires") == 0
+        assert result.metric("sim.injector.deferred_fires") == 0
+        assert result.metric("sim.injector.disarmed_events") == 0
+        assert result.metric("sim.injector.retargeted_events") == 0
+
+    def test_no_injector_no_injector_namespace(self, ring8):
+        from tests.conftest import run_simulation
+
+        result, _ = run_simulation(ring8(3), 8)
+        assert "sim.injector" not in result.metrics
+
+    def test_disarm_and_retarget_counters_surface(self):
+        # Reuse the compute-only retargeting scenario: rank 1 dies, its
+        # pending iteration event has no survivor -> disarmed.
+        from repro.simulator.simulation import Simulation, SimulationConfig
+
+        app = TestDeadTriggerRetargeting._compute_only_app(4, 4)
+        injector = FailureInjector([
+            FailureEvent(ranks=[1], time=5e-6),
+            FailureEvent(ranks=[1], at_iteration=3),
+        ])
+        sim = Simulation(app, nprocs=4, failures=injector,
+                         config=SimulationConfig(raise_on_incomplete=False))
+        result = sim.run()
+        assert result.metric("sim.injector.disarmed_events") == 1
+        assert result.metric("sim.injector.failed_ranks") == 1
+
+
+class TestRepeatedAndDeferredFailures:
+    """PR-5: stochastic traces re-fail restarted ranks and defer strikes
+    that land inside an active recovery session."""
+
+    def test_restarted_rank_can_fail_again(self, ring8):
+        from tests.conftest import run_simulation
+        from repro.ftprotocols.coordinated import CoordinatedCheckpointProtocol
+
+        injector = FailureInjector([
+            FailureEvent(ranks=[3], time=20e-6),
+            FailureEvent(ranks=[3], time=500e-6),
+        ])
+        protocol = CoordinatedCheckpointProtocol(checkpoint_interval=2,
+                                                 checkpoint_size_bytes=1024)
+        result, _ = run_simulation(ring8(6), 8, protocol=protocol, failures=injector)
+        assert result.completed
+        # Both strikes landed even though they hit the same rank.
+        assert result.stats.failures_injected == 2
+        assert len(injector.failure_times) == 2
+        assert injector.failed_ranks == {3}
+
+    def test_strike_during_recovery_is_deferred_not_fatal(self, stencil16):
+        from tests.conftest import run_simulation
+        from repro.core.config import HydEEConfig
+        from repro.core.protocol import HydEEProtocol
+
+        # The second failure lands 5us after the first: HydEE's recovery
+        # session is still active (it rejects concurrent sessions outright),
+        # so the strike must wait for the session to wind down.
+        injector = FailureInjector([
+            FailureEvent(ranks=[5], time=100e-6),
+            FailureEvent(ranks=[9], time=105e-6),
+        ])
+        protocol = HydEEProtocol(HydEEConfig(
+            clusters=[[0, 1, 2, 3], [4, 5, 6, 7], [8, 9, 10, 11], [12, 13, 14, 15]],
+            checkpoint_interval=2,
+            checkpoint_size_bytes=16 * 1024,
+        ))
+        result, _ = run_simulation(stencil16(8), 16, protocol=protocol,
+                                   failures=injector)
+        assert result.completed
+        assert result.stats.failures_injected == 2
+        assert injector.deferred_fires > 0
+        assert result.metric("sim.injector.deferred_fires") == injector.deferred_fires
+        # The deferred strike fired strictly after its nominal time.
+        assert injector.failure_times[1] > 105e-6
+
+    def test_deferred_timed_strike_holds_completion_open(self):
+        # A time-triggered strike whose nominal time passed, deferred behind
+        # an active recovery session, must keep the completion predicate
+        # waiting: if every rank finishes while the strike is parked, the
+        # run must not be declared complete underneath it.
+        from repro.simulator.protocol_api import ProtocolHooks
+        from repro.simulator.simulation import Simulation, SimulationConfig
+
+        class _BusyUntil(ProtocolHooks):
+            """Stub protocol whose recovery session spans a fixed window."""
+
+            name = "busy-until"
+
+            def __init__(self, until_s):
+                super().__init__()
+                self.until_s = until_s
+
+            def recovery_in_progress(self):
+                return self.sim.engine.now < self.until_s
+
+        # Ranks finish at ~28us (4 x 7us iterations); the strike lands at
+        # 20us inside a "recovery" that only winds down at 100us -- well
+        # after the last rank is done.
+        app = TestDeadTriggerRetargeting._compute_only_app(2, 4)
+        injector = FailureInjector([FailureEvent(ranks=[1], time=20e-6)])
+        sim = Simulation(app, nprocs=2, protocol=_BusyUntil(100e-6),
+                         failures=injector,
+                         config=SimulationConfig(raise_on_incomplete=False))
+        result = sim.run()
+        # The strike fired (after the session ended) instead of being
+        # silently dropped by an early completion.
+        assert injector.failure_times and injector.failure_times[0] >= 100e-6
+        assert result.stats.failures_injected == 1
+        assert injector.deferred_fires > 0
+        assert injector.armed_fires == 0
+        assert result.status != "completed"  # rank 1 died, nothing restarts it
+
+    def test_out_of_range_ranks_rejected_at_attach(self):
+        from repro.simulator.simulation import Simulation
+
+        app = TestDeadTriggerRetargeting._compute_only_app(4, 2)
+        injector = FailureInjector([FailureEvent(ranks=[99], time=1e-6)])
+        with pytest.raises(ConfigurationError):
+            Simulation(app, nprocs=4, failures=injector)
+
+    def test_out_of_range_trigger_rejected_at_attach(self):
+        from repro.simulator.simulation import Simulation
+
+        app = TestDeadTriggerRetargeting._compute_only_app(4, 2)
+        injector = FailureInjector(
+            [FailureEvent(ranks=[1], at_iteration=2, rank_trigger=99)]
+        )
+        with pytest.raises(ConfigurationError):
+            Simulation(app, nprocs=4, failures=injector)
