@@ -16,8 +16,16 @@ benchmarks/bench_engine_hotpath.py -o python_files='bench_*.py'
 --benchmark-only``) or directly::
 
     python benchmarks/bench_engine_hotpath.py
+
+Pass ``--profile`` to additionally run the checkpoint-heavy scenario under
+``cProfile`` and dump the top 20 functions by cumulative time -- the
+starting point for any hot-path investigation.
 """
 
+import argparse
+import cProfile
+import pstats
+import sys
 import time
 
 from bench_utils import ensure_src_on_path, run_and_report, write_report
@@ -128,8 +136,29 @@ def test_engine_hotpath_benchmark(benchmark):
     assert report["messages_per_s"] > 0
 
 
-def main() -> int:
-    return run_and_report("engine", bench_report)
+def profile_hot_path(top: int = 20) -> None:
+    """Profile the checkpoint-heavy scenario; print top functions by cumtime."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    measure_checkpoint_throughput()
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats("cumulative").print_stats(top)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="also profile the checkpoint scenario (cProfile, top 20 by "
+        "cumulative time) after writing the report",
+    )
+    args = parser.parse_args(argv)
+    status = run_and_report("engine", bench_report)
+    if args.profile:
+        profile_hot_path()
+    return status
 
 
 if __name__ == "__main__":

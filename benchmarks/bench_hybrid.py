@@ -1,0 +1,137 @@
+"""Benchmark of the hybrid execution mode (analytic fast-forward).
+
+The benchmarked unit is a 20-replica Monte Carlo campaign of a long
+stencil run under HydEE with sparse exponential faults -- the regime the
+hybrid mode targets (failures are rare, so almost all simulated time is
+failure-free steady state).  The campaign is run twice, once with every
+replica forced to full discrete-event execution and once with the default
+hybrid mode, and the report compares replica throughput
+(``replica_sims_per_s``) and the aggregate accuracy of the fast path.
+Run standalone it writes ``BENCH_hybrid.json``.
+"""
+
+import dataclasses
+
+from bench_utils import ensure_src_on_path, run_and_report, timed
+
+ensure_src_on_path()
+
+from repro.faults.montecarlo import run_montecarlo  # noqa: E402
+from repro.faults.spec import FaultModelSpec  # noqa: E402
+from repro.scenarios.build import build  # noqa: E402
+from repro.scenarios.spec import (  # noqa: E402
+    ClusteringSpec,
+    ProtocolSpec,
+    ScenarioSpec,
+    WorkloadSpec,
+)
+
+NPROCS = 16
+ITERATIONS = 1400
+REPLICAS = 20
+CHECKPOINT_INTERVAL = 8
+#: Per-rank MTBF as a multiple of ``nprocs * failure-free makespan``: 1.5
+#: means a replica sees ~0.7 failures on average -- sparse, but strikes
+#: (and therefore guard-window DES + recovery) do occur across the campaign.
+MTBF_MAKESPAN_FACTOR = 1.5
+
+
+def _base_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="bench-hybrid",
+        workload=WorkloadSpec(kind="stencil2d", nprocs=NPROCS, iterations=ITERATIONS),
+        protocol=ProtocolSpec(
+            name="hydee",
+            clustering=ClusteringSpec(method="block", num_clusters=4),
+            options={
+                "checkpoint_interval": CHECKPOINT_INTERVAL,
+                "checkpoint_size_bytes": 65536,
+            },
+        ),
+    )
+
+
+def _faulty_spec() -> ScenarioSpec:
+    base = _base_spec()
+    makespan = build(base).run().stats.makespan
+    fault_model = FaultModelSpec(
+        distribution="exponential",
+        seed=7,
+        params={"mtbf_s": makespan * NPROCS * MTBF_MAKESPAN_FACTOR},
+        horizon_s=makespan,
+        max_failures=3,
+    )
+    return dataclasses.replace(base, fault_model=fault_model)
+
+
+def _campaign(spec: ScenarioSpec, execution: str):
+    return run_montecarlo(spec, replicas=REPLICAS, execution=execution)
+
+
+def _mode_summary(result, elapsed: float) -> dict:
+    runs = [r for r in result.runs if r.metrics is not None]
+    fallbacks = sum(1 for r in runs if r.metrics.get("sim.hybrid.fallback", 0))
+    makespans = [r.metrics.get("sim.makespan") for r in runs]
+    return {
+        "elapsed_s": round(elapsed, 3),
+        "replica_sims_per_s": round(result.replicas / elapsed, 2) if elapsed > 0 else 0.0,
+        "completed_replicas": result.completed_replicas,
+        "fallback_replicas": fallbacks,
+        "makespan_mean_s": sum(makespans) / len(makespans) if makespans else None,
+        "failures_injected": sum(
+            int(r.metrics.get("sim.failures_injected", 0) or 0) for r in runs
+        ),
+    }
+
+
+def _run_both(spec: ScenarioSpec) -> dict:
+    out = {}
+    for mode in ("exact", "hybrid"):
+        result, elapsed = timed(_campaign, spec, mode)
+        out[mode] = _mode_summary(result, elapsed)
+    return out
+
+
+def test_hybrid_benchmark(benchmark):
+    spec = _faulty_spec()
+    modes = benchmark.pedantic(_run_both, args=(spec,), rounds=1, iterations=1)
+    exact, hybrid = modes["exact"], modes["hybrid"]
+    assert exact["completed_replicas"] == REPLICAS
+    assert hybrid["completed_replicas"] == REPLICAS
+    # The point of the fast path: an order of magnitude more replicas per
+    # second on the sparse-fault campaign...
+    assert hybrid["replica_sims_per_s"] >= 10 * exact["replica_sims_per_s"], modes
+    # ...at matching aggregate statistics.
+    rel = abs(hybrid["makespan_mean_s"] - exact["makespan_mean_s"]) / exact["makespan_mean_s"]
+    assert rel < 0.01, f"hybrid makespan mean drifted {rel:.2%}"
+
+
+def _build_report() -> dict:
+    spec = _faulty_spec()
+    modes = _run_both(spec)
+    exact, hybrid = modes["exact"], modes["hybrid"]
+    speedup = (
+        hybrid["replica_sims_per_s"] / exact["replica_sims_per_s"]
+        if exact["replica_sims_per_s"]
+        else 0.0
+    )
+    rel = abs(hybrid["makespan_mean_s"] - exact["makespan_mean_s"]) / exact["makespan_mean_s"]
+    return {
+        "benchmark": "hybrid",
+        "nprocs": NPROCS,
+        "iterations": ITERATIONS,
+        "replicas": REPLICAS,
+        "checkpoint_interval": CHECKPOINT_INTERVAL,
+        "exact": exact,
+        "hybrid": hybrid,
+        "speedup": round(speedup, 2),
+        "makespan_mean_rel_err": rel,
+    }
+
+
+def main() -> int:
+    return run_and_report("hybrid", _build_report)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -74,6 +74,7 @@ class HydEEProtocol(ClusteredProtocolBase):
     """The paper's hybrid rollback-recovery protocol."""
 
     name = "hydee"
+    ff_send_hook = True
 
     def __init__(self, config: Optional[HydEEConfig] = None, **kwargs: Any) -> None:
         """Create the protocol.
@@ -98,6 +99,13 @@ class HydEEProtocol(ClusteredProtocolBase):
         #: garbage-collection acknowledgements (sent when the whole cluster's
         #: checkpoint is complete).
         self._pending_gc_acks: Dict[tuple, Dict[int, int]] = {}
+        #: rank -> dest -> *phantom* logged bytes: payloads of messages
+        #: skipped by a batched fast-forward epoch.  Their entries are never
+        #: materialised (the epoch ends on a recovery line, so they can never
+        #: be replayed), but their bytes must keep flowing through checkpoint
+        #: sizes, memory usage and garbage-collection accounting so the
+        #: counters stay identical to exact execution.
+        self._ff_phantom_log: Dict[int, Dict[int, int]] = {}
 
     # ------------------------------------------------------------- lifecycle
     def attach(self, sim: "Simulation") -> None:
@@ -191,13 +199,27 @@ class HydEEProtocol(ClusteredProtocolBase):
 
     # ============================================================ checkpoints
     def _checkpoint_payload(self, rank: int) -> Dict[str, Any]:
-        return self.states[rank].checkpoint_payload()
+        payload = self.states[rank].checkpoint_payload()
+        phantom = self._ff_phantom_log.get(rank)
+        if phantom:
+            payload["ff_phantom"] = dict(phantom)
+        return payload
 
     def _restore_from_payload(self, rank: int, payload: Optional[Dict[str, Any]]) -> None:
         self.states[rank].restore(payload)
+        # Phantom bytes present when the checkpoint was taken are part of the
+        # checkpointed log volume (exact execution would have saved those
+        # entries in the payload), so a restore resurrects them; they can
+        # still never be replayed -- the receivers delivered them before the
+        # coordinated checkpoint this rollback restores to.
+        self._ff_phantom_log.pop(rank, None)
+        if payload and payload.get("ff_phantom"):
+            self._ff_phantom_log[rank] = dict(payload["ff_phantom"])
 
     def _extra_checkpoint_bytes(self, rank: int) -> int:
-        return self.states[rank].log.current_bytes
+        return self.states[rank].log.current_bytes + sum(
+            self._ff_phantom_log.get(rank, {}).values()
+        )
 
     def _after_checkpoint(self, rank: int, record: CheckpointRecord) -> None:
         """Record the acknowledgement data for log garbage collection.
@@ -234,6 +256,87 @@ class HydEEProtocol(ClusteredProtocolBase):
             acks = self._pending_gc_acks.pop((cluster_id, iteration, rank), {})
             for sender, up_to_date in acks.items():
                 self._send_control(rank, sender, "gc_ack", {"up_to_date": up_to_date})
+
+    # ============================================== batched fast-forward
+    def ff_epoch_snapshot(self) -> Optional[Any]:
+        """Fast-forward-relevant HydEE state, linear in steady iterations.
+
+        Per rank: the (date, phase) clock, each incoming channel's
+        ``Maxdate`` and the per-destination logged volume; globally, the
+        protocol counters.  Batching requires log garbage collection (it is
+        what makes the skipped epochs' log entries unobservable) and no
+        recovery residue.
+        """
+        if not self.config.garbage_collect_logs:
+            return None
+        ranks = {}
+        for rank, state in self.states.items():
+            if state.in_recovery:
+                return None
+            per_dest: Dict[int, List[int]] = {}
+            for entry in state.log.entries:
+                bucket = per_dest.setdefault(entry.dest, [0, 0])
+                bucket[0] += 1
+                bucket[1] += entry.size_bytes
+            ranks[rank] = (
+                state.clock.date,
+                state.clock.phase,
+                {s: state.rpp.max_date(s) for s in state.rpp.senders()},
+                {dest: tuple(v) for dest, v in per_dest.items()},
+            )
+        stats = self.sim.stats
+        return (ranks, dict(self.pstats.as_dict()),
+                (stats.logged_messages, stats.logged_bytes))
+
+    def ff_epoch_delta(self, before: Any, after: Any) -> Optional[Any]:
+        ranks_b, pstats_b, sim_b = before
+        ranks_a, pstats_a, sim_a = after
+        ranks: Dict[int, Any] = {}
+        for rank, (date_a, phase_a, rpp_a, log_a) in ranks_a.items():
+            date_b, phase_b, rpp_b, log_b = ranks_b[rank]
+            d_date = date_a - date_b
+            d_phase = phase_a - phase_b
+            d_rpp = {
+                s: rpp_a.get(s, 0) - rpp_b.get(s, 0)
+                for s in set(rpp_a) | set(rpp_b)
+            }
+            d_log = {}
+            for dest in set(log_a) | set(log_b):
+                count_a, bytes_a = log_a.get(dest, (0, 0))
+                count_b, bytes_b = log_b.get(dest, (0, 0))
+                d_log[dest] = (count_a - count_b, bytes_a - bytes_b)
+            if (d_date < 0 or d_phase < 0
+                    or any(d < 0 for d in d_rpp.values())
+                    or any(c < 0 or by < 0 for c, by in d_log.values())):
+                # A rollback or garbage collection ran between the probes.
+                return None
+            ranks[rank] = (d_date, d_phase, d_rpp, d_log)
+        d_pstats = {k: pstats_a[k] - pstats_b[k] for k in pstats_a}
+        if d_pstats.get("checkpoints") or d_pstats.get("rollbacks"):
+            # Probe iterations must be boundary- and failure-free.
+            return None
+        d_sim = (sim_a[0] - sim_b[0], sim_a[1] - sim_b[1])
+        return (ranks, d_pstats, d_sim)
+
+    def ff_epoch_apply(self, delta: Any, n: int) -> None:
+        ranks, d_pstats, d_sim = delta
+        for rank, (d_date, d_phase, d_rpp, d_log) in ranks.items():
+            state = self.states[rank]
+            state.clock.date += n * d_date
+            state.clock.phase += n * d_phase
+            for sender, by in d_rpp.items():
+                state.rpp.advance_max_date(sender, n * by)
+            if d_log:
+                phantom = self._ff_phantom_log.setdefault(rank, {})
+                for dest, (_, nbytes) in d_log.items():
+                    if nbytes:
+                        phantom[dest] = phantom.get(dest, 0) + n * nbytes
+        for key, value in d_pstats.items():
+            if value:
+                setattr(self.pstats, key, getattr(self.pstats, key) + n * value)
+        stats = self.sim.stats
+        stats.logged_messages += n * d_sim[0]
+        stats.logged_bytes += n * d_sim[1]
 
     # ================================================================ failure
     def on_failure(self, failed_ranks: Iterable[int], time: float) -> None:
@@ -408,6 +511,11 @@ class HydEEProtocol(ClusteredProtocolBase):
         """Reclaim acknowledged log entries (Section III-E)."""
         state = self.states[rank]
         freed = state.log.purge_acknowledged(from_rank, int(data["up_to_date"]))
+        # Phantom bytes of a batched epoch lie entirely below the recovery
+        # line the acknowledgement covers, so the ack reclaims them whole.
+        phantom = self._ff_phantom_log.get(rank)
+        if phantom:
+            freed += phantom.pop(from_rank, 0)
         self.pstats.gc_reclaimed_bytes += freed
 
     # ---------------------------------------------------- recovery completion
@@ -465,7 +573,11 @@ class HydEEProtocol(ClusteredProtocolBase):
         return self.orchestrator is not None and not self.orchestrator.complete
 
     def memory_usage_bytes(self) -> Dict[int, int]:
-        return {rank: state.log_memory_bytes() for rank, state in self.states.items()}
+        return {
+            rank: state.log_memory_bytes()
+            + sum(self._ff_phantom_log.get(rank, {}).values())
+            for rank, state in self.states.items()
+        }
 
     def phase_of(self, rank: int) -> int:
         return self.states[rank].clock.phase

@@ -59,6 +59,20 @@ class RPPTable:
     def observe(self, sender: int, send_date: int, phase: int) -> None:
         self._channels.setdefault(sender, ChannelRecord()).observe(send_date, phase)
 
+    def advance_max_date(self, sender: int, by: int) -> None:
+        """Bulk-advance ``Maxdate`` of a channel without per-date entries.
+
+        Used by the hybrid fast path for deliveries inside a batched
+        failure-free epoch: their send-dates can never exceed a rolled-back
+        sender's restart date (the epoch ends on the recovery line), so only
+        ``Maxdate`` -- which drives log replay filtering and garbage
+        collection -- needs to move; the per-date phase entries would be
+        dead weight in every later orphan scan.
+        """
+        if by <= 0:
+            return
+        self._channels.setdefault(sender, ChannelRecord()).max_date += by
+
     # ------------------------------------------------------------------- read
     def channel(self, sender: int) -> ChannelRecord:
         return self._channels.setdefault(sender, ChannelRecord())

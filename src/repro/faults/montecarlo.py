@@ -52,12 +52,21 @@ def replica_specs(
     base: ScenarioSpec,
     replicas: int,
     analysis: str = "montecarlo-replica",
+    execution: Optional[str] = None,
 ) -> List[ScenarioSpec]:
     """The N replica scenarios of ``base`` (``fault_model.replica`` = 0..N-1).
 
     Each replica keeps the base tags (so experiment filters keep matching),
     gains ``replica``/``mc_base`` provenance tags, and runs ``analysis``
     (the per-replica job) instead of the base spec's own analysis.
+
+    Replicas default to ``execution="hybrid"`` (fast-forward failure-free
+    epochs, see :mod:`repro.simulator.hybrid`) when the base spec left the
+    mode at ``"exact"``: Monte Carlo campaigns aggregate makespan/byte
+    statistics, which is exactly what the hybrid mode preserves, and each
+    replica still falls back to exact execution on its own if calibration
+    fails.  Pass ``execution="exact"`` to force full DES everywhere; a base
+    spec that sets a mode explicitly keeps it.
     """
     if base.fault_model is None:
         raise ConfigurationError(
@@ -74,6 +83,7 @@ def replica_specs(
     base_tags.pop("replicas", None)
     base_tags.pop("analysis", None)
     base_hash = dataclasses.replace(base, tags=base_tags).spec_hash()
+    resolved = execution or ("hybrid" if base.execution == "exact" else base.execution)
     specs: List[ScenarioSpec] = []
     for index in range(replicas):
         tags = dict(base.tags)
@@ -84,6 +94,7 @@ def replica_specs(
                 base,
                 name=f"{base.name}#r{index}",
                 fault_model=dataclasses.replace(base.fault_model, replica=index),
+                execution=resolved,
                 tags=tags,
             )
         )
@@ -165,17 +176,23 @@ def run_montecarlo(
     workers: int = 1,
     store: Optional[ResultsStore] = None,
     force: bool = False,
+    execution: Optional[str] = None,
 ) -> MonteCarloResult:
     """Fan N replicas of ``base`` through the campaign runner and aggregate.
 
     Replicas are embarrassingly parallel (``workers``) and individually
     cached by spec hash (``store``); the aggregate is recomputed from the
     records, so a fully-cached campaign aggregates without simulating.
+    ``execution`` pins the replica execution mode (see
+    :func:`replica_specs`, which defaults replicas to ``"hybrid"``).
     """
     from repro.campaign.runner import run_campaign
 
     outcome = run_campaign(
-        replica_specs(base, replicas), workers=workers, store=store, force=force
+        replica_specs(base, replicas, execution=execution),
+        workers=workers,
+        store=store,
+        force=force,
     )
     runs = tuple(RunResult.from_record(record) for record in outcome.records)
     return MonteCarloResult(

@@ -220,6 +220,54 @@ class ClusteredProtocolBase(ProtocolHooks):
             # log garbage collection and similar cleanups become safe.
             self._on_cluster_checkpoint_complete(cluster_id, iteration)
 
+    def fast_forward_checkpoint(self, rank: int, iteration: int, state: Any, time: float) -> None:
+        """Batch bookkeeping for a coordinated checkpoint inside a
+        fast-forwarded epoch (:mod:`repro.simulator.hybrid`).
+
+        The fast-forward driver reaches an iteration boundary with every
+        cluster member already synchronised, so the barrier, the channel
+        drain and the write-cost compute event of
+        :meth:`_coordinated_checkpoint` are unnecessary (the calibrated
+        per-checkpoint rate already accounts for their duration); everything
+        observable -- the stored record, the protocol counters, the
+        per-cluster recovery-line hooks -- is identical.  ``time`` is the
+        rank's projected clock at the boundary.
+        """
+        proc = self.sim.ranks[rank]
+        for message in proc.unexpected:
+            if not self.is_inter_cluster(message.source, rank):
+                raise ProtocolError(
+                    f"rank {rank}: intra-cluster message from {message.source} is still "
+                    "undelivered at a coordinated checkpoint boundary; the application "
+                    "must complete intra-cluster receives before the boundary"
+                )
+        record = self.sim.storage.save(
+            rank=rank,
+            iteration=iteration,
+            app_state=state,
+            time=time,
+            sends_at_checkpoint=proc.sends_initiated,
+            protocol_state=self._checkpoint_payload(rank),
+            size_bytes=self._checkpoint_size(rank, state),
+        )
+        self._latest_checkpoint[rank] = record
+        self.pstats.checkpoints += 1
+        self.pstats.checkpoint_bytes += record.size_bytes
+        self.sim.stats.rank(rank).checkpoints += 1
+        cost = self.sim.storage.write_cost(record.size_bytes)
+        if cost > 0:
+            # Exact mode pays the write as a ComputeOp; keep the compute-time
+            # counter (and the wasted-work analyses built on it) comparable.
+            self.sim.stats.rank(rank).compute_time += cost
+        self._after_checkpoint(rank, record)
+        cluster_id = self.cluster_of(rank)
+        generation = self._cluster_generation.get(cluster_id, 0)
+        key = (cluster_id, generation, iteration)
+        saved = self._ckpt_saved.setdefault(key, set())
+        saved.add(rank)
+        if saved == set(self.members(cluster_id)):
+            self._on_cluster_checkpoint_complete(cluster_id, iteration)
+
     def _drain_then_fire(self, cluster_id: int, condition: Condition) -> None:
         members = set(self.members(cluster_id))
         if self.sim.transport.in_flight_within(members) == 0:

@@ -260,6 +260,9 @@ def build_config(spec: ScenarioSpec) -> SimulationConfig:
     # Campaign scenarios default to the slim trace path; per-event records
     # must be opted into explicitly (containment / invariant scenarios).
     overrides.setdefault("record_trace_events", False)
+    # The spec's execution mode seeds the config; an explicit config
+    # override (e.g. forcing "exact" for a pinning test) wins.
+    overrides.setdefault("execution", spec.execution)
     valid = set(SimulationConfig.__dataclass_fields__) - {"network"}
     unknown = set(overrides) - valid
     if unknown:

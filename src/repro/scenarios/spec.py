@@ -233,13 +233,26 @@ class ScenarioSpec:
     #: from the serialised form, so pre-fault-model spec hashes are
     #: unchanged.
     fault_model: Optional[FaultModelSpec] = None
+    #: execution strategy: ``"exact"`` runs the full discrete-event loop,
+    #: ``"hybrid"`` fast-forwards failure-free epochs analytically and drops
+    #: into exact DES only around failures (see
+    #: :mod:`repro.simulator.hybrid`).  ``"exact"`` is omitted from the
+    #: serialised form, so pre-hybrid spec hashes are unchanged.
+    execution: str = "exact"
     config: Dict[str, Any] = field(default_factory=dict)
     tags: Dict[str, Any] = field(default_factory=dict)
+
+    _EXECUTIONS = ("exact", "hybrid")
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "failures", tuple(self.failures))
         object.__setattr__(self, "config", _freeze_mapping(self.config))
         object.__setattr__(self, "tags", _freeze_mapping(self.tags))
+        if self.execution not in self._EXECUTIONS:
+            raise ConfigurationError(
+                f"unknown execution mode {self.execution!r}; "
+                f"expected one of {self._EXECUTIONS}"
+            )
         if isinstance(self.fault_model, Mapping):
             object.__setattr__(self, "fault_model", FaultModelSpec(**self.fault_model))
         if self.fault_model is not None and self.failures:
@@ -261,6 +274,10 @@ class ScenarioSpec:
         # their pinned pre-fault-model hashes.
         if data.get("fault_model") is None:
             data.pop("fault_model", None)
+        # And for the execution layer: exact-mode specs keep their
+        # pre-hybrid hashes.
+        if data.get("execution") == "exact":
+            del data["execution"]
         return data
 
     @classmethod

@@ -209,6 +209,28 @@ class SimulationEngine:
             self._seq = seq
             self._live += scheduled
 
+    def advance_to(self, time: float) -> None:
+        """Jump the clock forward to ``time`` without executing anything.
+
+        This is the epoch-skip primitive of the hybrid execution mode
+        (:mod:`repro.simulator.hybrid`): an analytically fast-forwarded
+        failure-free epoch ends with one clock jump instead of thousands of
+        per-message events.  The jump refuses to skip over any pending live
+        event -- those must be drained (or be scheduled later than ``time``)
+        first, otherwise they would execute in the past.
+        """
+        if not self._now <= time < _INF:
+            raise SimulationError(
+                f"cannot advance the clock to t={time} (now t={self._now})"
+            )
+        head = self._peek_time()
+        if head is not None and head < time:
+            raise SimulationError(
+                f"cannot advance the clock to t={time} past a pending event "
+                f"at t={head}"
+            )
+        self._now = time
+
     # ------------------------------------------------------------ queue core
     def _next_event(self) -> Optional[List[Any]]:
         """Pop the earliest live entry across both tiers (None when empty).

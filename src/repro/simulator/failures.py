@@ -131,6 +131,14 @@ class FailureInjector:
         #: strikes postponed because a recovery session was still active
         #: (each RETRY_DELAY_S postponement counts once).
         self.deferred_fires: int = 0
+        #: time-triggered strikes scheduled at attach() and not yet fired.
+        #: The hybrid director uses this to recognise quiescence: when it is
+        #: the only thing left in the engine queue, every unfired event is a
+        #: *future* timed failure and the epoch in between can be skipped.
+        self.pending_timed_fires: int = 0
+        #: id()s of timed events whose attach()-scheduled entry was consumed
+        #: (identity, not equality: FailureEvent is a value-equal dataclass).
+        self._timed_consumed: Set[int] = set()
 
     def add(self, event: FailureEvent) -> None:
         self.events.append(event)
@@ -154,6 +162,7 @@ class FailureInjector:
                 )
             if event.time is not None:
                 sim.engine.schedule_at(event.time, self._fire, event)
+                self.pending_timed_fires += 1
 
     def on_iteration_completed(self, rank: int, iteration: int) -> None:
         """Called by the rank driver after each completed iteration."""
@@ -206,6 +215,12 @@ class FailureInjector:
             return
         if event.time is not None and event.fired:
             return
+        if event.time is not None and id(event) not in self._timed_consumed:
+            # The original attach()-scheduled engine entry is gone now,
+            # whether the strike lands immediately or enters the deferred
+            # pipeline below (armed_fires then keeps the run waiting for it).
+            self._timed_consumed.add(id(event))
+            self.pending_timed_fires -= 1
         if self._recovery_active():
             # Arm the strike while it waits: its nominal time has passed, so
             # the run must not be declared complete before it lands (same
@@ -276,6 +291,26 @@ class FailureInjector:
                 event.fired = True
                 self.armed_fires += 1
                 sim.engine.schedule(0.0, self._fire_armed, event)
+
+    # ------------------------------------------------------------- lookahead
+    def next_timed_failure_time(self) -> Optional[float]:
+        """Earliest unfired time-triggered strike (None when none remain).
+
+        Drives the hybrid director's epoch boundaries: a fast-forwarded
+        epoch must end a guard window *before* this time so the strike, and
+        the recovery it triggers, play out in exact DES.
+        """
+        times = [e.time for e in self.events if e.time is not None and not e.fired]
+        return min(times) if times else None
+
+    def next_iteration_trigger(self) -> Optional[int]:
+        """Earliest unfired iteration-triggered boundary (None when none)."""
+        its = [
+            e.at_iteration
+            for e in self.events
+            if e.at_iteration is not None and not e.fired
+        ]
+        return min(its) if its else None
 
     @property
     def any_failure_injected(self) -> bool:

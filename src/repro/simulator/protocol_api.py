@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import TYPE_CHECKING, Any, Dict, Iterable, Optional
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ProtocolError
 from repro.results.metrics import MetricSet
 from repro.simulator.engine import Condition
 from repro.simulator.messages import Message
@@ -105,6 +105,12 @@ class ProtocolHooks:
     """
 
     name: str = "none"
+    #: whether :meth:`on_app_send` / :meth:`on_message_arrival` carry state
+    #: (sequence stamping, payload logging, duplicate suppression) and must
+    #: therefore be invoked per message even during analytic fast-forward
+    #: (:mod:`repro.simulator.hybrid`).  Protocols whose message hooks are
+    #: the no-op defaults leave this False so the fast path can skip them.
+    ff_send_hook: bool = False
 
     def __init__(self) -> None:
         self.sim: Optional["Simulation"] = None
@@ -136,6 +142,32 @@ class ProtocolHooks:
     def on_iteration_boundary(self, rank: int, iteration: int, state: Any):
         """Return ``None`` or a generator executed inline by the rank driver."""
         return None
+
+    # ----------------------------------------- batched fast-forward (hybrid)
+    # The hybrid director's analytic fast path advances whole checkpoint
+    # intervals without running the application or the per-message hooks.
+    # Its probe protocol: snapshot the fast-forward-relevant protocol state,
+    # drive one ordinary iteration, snapshot again, derive the per-iteration
+    # delta, and -- if two consecutive deltas agree -- replay the delta N
+    # times through :meth:`ff_epoch_apply`.  Protocols that cannot express
+    # their steady state as such a linear delta simply return ``None`` from
+    # :meth:`ff_epoch_snapshot` and keep the per-message fast-forward path.
+
+    def ff_epoch_snapshot(self) -> Optional[Any]:
+        """Opaque snapshot of the per-iteration-linear protocol state, or
+        ``None`` when the protocol does not support batched fast-forward."""
+        return None
+
+    def ff_epoch_delta(self, before: Any, after: Any) -> Optional[Any]:
+        """The state delta between two snapshots taken one iteration apart,
+        or ``None`` when the pair cannot be extrapolated linearly."""
+        return None
+
+    def ff_epoch_apply(self, delta: Any, n: int) -> None:
+        """Apply a verified per-iteration delta ``n`` times in one step."""
+        raise ProtocolError(
+            f"protocol {self.name!r} does not implement batched fast-forward"
+        )
 
     def on_checkpoint_request(self, rank: int, label: str = "") -> float:
         """Application-requested local checkpoint; return the time it costs."""

@@ -56,6 +56,18 @@ class SimulationConfig:
     checkpoint_write_bandwidth: Optional[float] = 1.0e9
     #: Raise when the run ends without every rank finishing.
     raise_on_incomplete: bool = True
+    #: Execution mode: ``"exact"`` (full DES) or ``"hybrid"`` (analytically
+    #: fast-forward failure-free epochs, DES guard windows around failures --
+    #: see :mod:`repro.simulator.hybrid`).
+    execution: str = "exact"
+    #: DES warm-up iterations used to calibrate the hybrid rate model
+    #: (0 = auto: ``max(3, checkpoint_interval + 2)``).
+    hybrid_warmup_iterations: int = 0
+    #: Iterations of exact DES kept on each side of a failure injection.
+    hybrid_guard_iterations: int = 2
+    #: Calibration guard: fall back to exact execution when the warm-up's
+    #: pooled iteration durations spread (max-min)/median beyond this.
+    hybrid_max_dt_spread: float = 0.25
 
 
 @dataclass
@@ -95,6 +107,11 @@ class Simulation:
         if nprocs < 1:
             raise SimulationError("a simulation needs at least one rank")
         self.config = config or SimulationConfig()
+        if self.config.execution not in ("exact", "hybrid"):
+            raise SimulationError(
+                f"unknown execution mode {self.config.execution!r} "
+                "(expected 'exact' or 'hybrid')"
+            )
         self.application = application
         self.nprocs = nprocs
         self.engine = SimulationEngine()
@@ -118,6 +135,13 @@ class Simulation:
             self.ranks[rank] = proc
 
         self._done_count = 0
+        #: hybrid-execution hooks (None in exact mode; see
+        #: :mod:`repro.simulator.hybrid`).  ``iteration_gate`` parks rank
+        #: coroutines at an iteration limit, ``_iteration_listener`` feeds the
+        #: rate-model calibration, ``hybrid_stats`` surfaces ``sim.hybrid.*``.
+        self.iteration_gate = None
+        self._iteration_listener = None
+        self.hybrid_stats: Optional[Dict[str, Any]] = None
         self.stats.protocol = getattr(self.protocol, "name", "none")
         self.protocol.attach(self)
         if self.failure_injector is not None:
@@ -264,6 +288,11 @@ class Simulation:
 
     # ------------------------------------------------------------- lifecycle
     def notify_iteration_completed(self, rank: int, iteration: int) -> None:
+        listener = self._iteration_listener
+        if listener is not None:
+            # Calibration listener first: it must observe the boundary time
+            # before an iteration-triggered failure can perturb the rank.
+            listener(rank, iteration)
         if self.failure_injector is not None:
             self.failure_injector.on_iteration_completed(rank, iteration)
 
@@ -345,13 +374,27 @@ class Simulation:
         return injector is None or injector.armed_fires == 0
 
     def run(self) -> SimulationResult:
+        if self.config.execution == "hybrid":
+            # Imported lazily: hybrid pulls in the protocol base classes,
+            # which themselves import simulator modules at load time.
+            from repro.simulator.hybrid import HybridDirector
+
+            return HybridDirector(self).run()
         self.protocol.on_simulation_start()
-        self.engine.schedule_many(proc.start() for proc in self.ranks.values())
+        self._start_ranks()
         reason = self.engine.run(
             until_time=self.config.max_time,
             max_events=self.config.max_events,
             stop_predicate=self._should_stop,
         )
+        return self._finish(reason)
+
+    def _start_ranks(self) -> None:
+        """Inject every rank's t=0 kick-off event in one deterministic batch."""
+        self.engine.schedule_many(proc.start() for proc in self.ranks.values())
+
+    def _finish(self, reason: str) -> SimulationResult:
+        """Map the engine's stop reason to a result (shared exact/hybrid)."""
         self.protocol.on_simulation_end()
 
         if self.all_done():
@@ -412,6 +455,12 @@ class Simulation:
             metrics.set("sim.injector.disarmed_events", injector.disarmed_events)
             metrics.set("sim.injector.failed_ranks", len(injector.failed_ranks))
             metrics.set("sim.injector.retargeted_events", injector.retargeted_events)
+        if self.hybrid_stats is not None:
+            # Hybrid execution quality: campaigns filter on these to spot
+            # replicas that silently fell back to exact mode or calibrated
+            # on noisy warm-ups.
+            for key in sorted(self.hybrid_stats):
+                metrics.set(f"sim.hybrid.{key}", self.hybrid_stats[key])
         metrics.merge(self.protocol.metrics())
         topology = self.transport.topology
         if topology is not None and topology.has_shared_links:

@@ -116,6 +116,16 @@ class Application(abc.ABC):
     name: str = "application"
     #: Whether the workload satisfies Definition 3 of the paper.
     send_deterministic: bool = True
+    #: Whether failure-free epochs of the workload may be fast-forwarded
+    #: analytically (:mod:`repro.simulator.hybrid`).  Requires
+    #: send-determinism plus directed receives (no ``ANY_SOURCE``) and no
+    #: reliance on wall-clock-dependent control flow inside iterations.
+    ff_compatible: bool = True
+    #: Whether :meth:`fast_forward_states` implements the batched state
+    #: advance (the hybrid director's analytic fast path).  Workloads that
+    #: opt in must guarantee the bulk advance is *bit-identical* to driving
+    #: :meth:`iteration` on every rank, including floating-point rounding.
+    ff_bulk_compatible: bool = False
 
     def __init__(self, nprocs: int, iterations: int) -> None:
         if nprocs < 1:
@@ -137,6 +147,24 @@ class Application(abc.ABC):
     @abc.abstractmethod
     def iteration(self, comm, rank: int, state: Any, it: int) -> Iterator:
         """Generator performing one application iteration."""
+
+    def fast_forward_states(
+        self, states: Dict[int, Any], start_iteration: int, n: int
+    ) -> bool:
+        """Advance every rank's live state through ``n`` iterations at once.
+
+        Called by the hybrid director (:mod:`repro.simulator.hybrid`) inside
+        a batched failure-free epoch, with ``states`` mapping *every* rank to
+        its live state object at iteration count ``start_iteration``.  The
+        implementation must mutate the state objects in place to exactly what
+        ``n`` exchanged iterations of :meth:`iteration` would produce --
+        same values, same floating-point operation order -- without touching
+        a communicator.  Return ``False`` when the request cannot be honoured
+        (the director then falls back to per-message fast-forwarding).
+
+        Only consulted when :attr:`ff_bulk_compatible` is ``True``.
+        """
+        return False
 
     # ------------------------------------------------------------ checkpoints
     def snapshot_state(self, state: Any) -> Any:

@@ -33,6 +33,9 @@ class MasterWorkerApplication(Application):
 
     name = "master-worker"
     send_deterministic = False
+    # ANY_SOURCE receives cannot be fast-forwarded analytically: the match
+    # order is timing-dependent, which is the whole point of this workload.
+    ff_compatible = False
 
     def __init__(
         self,

@@ -159,3 +159,43 @@ class TestOtherWorkloads:
     def test_send_deterministic_flag_default_true(self):
         assert RingApplication(nprocs=4).send_deterministic is True
         assert PipelineApplication(nprocs=4).send_deterministic is True
+
+
+class TestFastForwardStates:
+    """The bulk fast-forward must be bit-identical to the message path."""
+
+    def test_stencil2d_bulk_advance_matches_full_simulation(self):
+        from repro.simulator.simulation import Simulation
+
+        nprocs, iterations = 12, 30
+        app = Stencil2DApplication(nprocs=nprocs, iterations=iterations)
+        sim = Simulation(app, nprocs=nprocs)
+        result = sim.run()
+        assert result.completed
+
+        states = {rank: app.setup(rank, nprocs) for rank in range(nprocs)}
+        assert app.fast_forward_states(states, 0, iterations) is True
+        for rank in range(nprocs):
+            simulated = sim.ranks[rank].result
+            assert states[rank]["value"] == simulated["value"], rank
+            assert states[rank]["halo_sum"] == simulated["halo_sum"], rank
+
+    def test_stencil2d_bulk_advance_composes(self):
+        # Advancing 3 then 7 iterations lands on the same floats as 10 at once.
+        app = Stencil2DApplication(nprocs=9, iterations=10)
+        split = {rank: app.setup(rank, 9) for rank in range(9)}
+        whole = {rank: app.setup(rank, 9) for rank in range(9)}
+        assert app.fast_forward_states(split, 0, 3)
+        assert app.fast_forward_states(split, 3, 7)
+        assert app.fast_forward_states(whole, 0, 10)
+        assert split == whole
+
+    def test_incomplete_state_set_is_refused(self):
+        app = Stencil2DApplication(nprocs=9, iterations=10)
+        states = {rank: app.setup(rank, 9) for rank in range(8)}
+        assert app.fast_forward_states(states, 0, 1) is False
+
+    def test_default_workloads_are_not_bulk_compatible(self):
+        assert Stencil2DApplication(nprocs=9).ff_bulk_compatible is True
+        assert RingApplication(nprocs=4).ff_bulk_compatible is False
+        assert MasterWorkerApplication(nprocs=4).ff_bulk_compatible is False
