@@ -1,0 +1,107 @@
+"""Fast-forward coverage sweep across the workload catalogue.
+
+Runs every bulk-compatible workload once in exact mode and once in hybrid
+mode under the same HydEE configuration and reports, per workload, whether
+the hybrid executor actually fast-forwarded (no fallback to full DES), how
+many iterations were skipped analytically (and how many of those were
+batched whole checkpoint intervals at a time), and the relative makespan
+error against the exact run.  Run standalone it writes
+``BENCH_ff_coverage.json``.
+
+The point of the report is breadth, not peak speed: the hybrid mode is only
+an optimisation of the common case if the *whole* catalogue stays on the
+fast path, so CI asserts that every swept workload completes with zero
+fallbacks.  (The ring workload legitimately reports ``batched_iterations ==
+0``: its max-based causal phase clock has a period of 4 iterations, longer
+than the verifiable stride for its cluster size, so it fast-forwards
+per-message rather than in batched intervals.)
+"""
+
+from bench_utils import ensure_src_on_path, run_and_report, timed
+
+ensure_src_on_path()
+
+from repro.scenarios.build import build  # noqa: E402
+from repro.scenarios.spec import (  # noqa: E402
+    ClusteringSpec,
+    ProtocolSpec,
+    ScenarioSpec,
+    WorkloadSpec,
+)
+
+NPROCS = 16
+CHECKPOINT_INTERVAL = 8
+
+#: Workload -> constructor arguments.  The NAS kernels run fewer iterations
+#: than the synthetic patterns because their per-iteration state updates are
+#: heavier; the sweep is about coverage, not duration.
+CASES = {
+    "stencil1d": dict(kind="stencil1d", nprocs=NPROCS, iterations=120),
+    "stencil2d": dict(kind="stencil2d", nprocs=NPROCS, iterations=120),
+    "ring": dict(kind="ring", nprocs=NPROCS, iterations=120),
+    "pipeline": dict(kind="pipeline", nprocs=NPROCS, iterations=120),
+    "bt": dict(kind="bt", nprocs=NPROCS, iterations=60),
+    "cg": dict(kind="cg", nprocs=NPROCS, iterations=60),
+    "ft": dict(kind="ft", nprocs=NPROCS, iterations=60),
+    "lu": dict(kind="lu", nprocs=NPROCS, iterations=60),
+    "mg": dict(kind="mg", nprocs=NPROCS, iterations=60),
+    "sp": dict(kind="sp", nprocs=NPROCS, iterations=60),
+}
+
+
+def _spec(name: str, workload_args: dict, execution: str) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=f"ff-coverage-{name}-{execution}",
+        workload=WorkloadSpec(**workload_args),
+        protocol=ProtocolSpec(
+            name="hydee",
+            clustering=ClusteringSpec(method="block", num_clusters=4),
+            options={
+                "checkpoint_interval": CHECKPOINT_INTERVAL,
+                "checkpoint_size_bytes": 65536,
+            },
+        ),
+        execution=execution,
+    )
+
+
+def _sweep() -> dict:
+    workloads = {}
+    fast_forwarding = 0
+    for name, workload_args in CASES.items():
+        exact_result, exact_s = timed(build(_spec(name, workload_args, "exact")).run)
+        hybrid_sim = build(_spec(name, workload_args, "hybrid"))
+        hybrid_result, hybrid_s = timed(hybrid_sim.run)
+
+        stats = hybrid_sim.hybrid_stats
+        fallback = bool(stats["fallback"])
+        exact_makespan = exact_result.stats.makespan
+        rel_err = abs(hybrid_result.stats.makespan - exact_makespan) / exact_makespan
+        if not fallback:
+            fast_forwarding += 1
+        workloads[name] = {
+            "fallback": fallback,
+            "fallback_reason": hybrid_sim.stats.extra.get("hybrid_fallback_reason", ""),
+            "warmup_iterations": int(stats["warmup_iterations"]),
+            "ff_iterations": int(stats["ff_iterations"]),
+            "batched_iterations": int(stats["batched_iterations"]),
+            "makespan_rel_err": rel_err,
+            "exact_elapsed_s": round(exact_s, 4),
+            "hybrid_elapsed_s": round(hybrid_s, 4),
+            "speedup": round(exact_s / max(hybrid_s, 1e-9), 2),
+        }
+    return {
+        "nprocs": NPROCS,
+        "checkpoint_interval": CHECKPOINT_INTERVAL,
+        "workloads_swept": len(workloads),
+        "workloads_fast_forwarding": fast_forwarding,
+        "workloads": workloads,
+    }
+
+
+def main() -> int:
+    return run_and_report("ff_coverage", _sweep)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

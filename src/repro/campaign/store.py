@@ -28,14 +28,9 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
 from typing import Any, Dict, Iterator, Optional
 
-try:  # POSIX; on platforms without fcntl the merge still runs, unserialised.
-    import fcntl
-except ImportError:  # pragma: no cover - non-POSIX fallback
-    fcntl = None
-
+from repro.fslock import atomic_write_json, exclusive_lock
 from repro.results.migrate import migrate_record
 
 STORE_VERSION = 2
@@ -96,33 +91,15 @@ class ResultsStore:
         """
         if self.path is None:
             return
-        directory = os.path.dirname(os.path.abspath(self.path))
-        os.makedirs(directory, exist_ok=True)
-        lock_fd = None
-        if fcntl is not None:
-            lock_fd = os.open(self.path + ".lock", os.O_CREAT | os.O_RDWR, 0o644)
-            fcntl.flock(lock_fd, fcntl.LOCK_EX)
-        try:
+        with exclusive_lock(self.path):
             if not self._replace_on_save and os.path.exists(self.path):
                 merged = self._read_records()
                 merged.update(self._records)
                 self._records = merged
-            payload = {"version": STORE_VERSION, "records": self._records}
-            fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                    json.dump(payload, fh, sort_keys=True, indent=1)
-                    fh.write("\n")
-                os.replace(tmp_path, self.path)
-            except BaseException:
-                if os.path.exists(tmp_path):
-                    os.unlink(tmp_path)
-                raise
+            atomic_write_json(
+                self.path, {"version": STORE_VERSION, "records": self._records}
+            )
             self._replace_on_save = False
-        finally:
-            if lock_fd is not None:
-                fcntl.flock(lock_fd, fcntl.LOCK_UN)
-                os.close(lock_fd)
 
     # --------------------------------------------------------------- records
     def get(self, spec_hash: str) -> Optional[Dict[str, Any]]:

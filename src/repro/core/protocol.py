@@ -99,6 +99,7 @@ class HydEEProtocol(ClusteredProtocolBase):
         #: garbage-collection acknowledgements (sent when the whole cluster's
         #: checkpoint is complete).
         self._pending_gc_acks: Dict[tuple, Dict[int, int]] = {}
+        self._control_handlers: Optional[Dict[str, Any]] = None
         #: rank -> dest -> *phantom* logged bytes: payloads of messages
         #: skipped by a batched fast-forward epoch.  Their entries are never
         #: materialised (the epoch ends on a recovery line, so they can never
@@ -217,9 +218,11 @@ class HydEEProtocol(ClusteredProtocolBase):
             self._ff_phantom_log[rank] = dict(payload["ff_phantom"])
 
     def _extra_checkpoint_bytes(self, rank: int) -> int:
-        return self.states[rank].log.current_bytes + sum(
-            self._ff_phantom_log.get(rank, {}).values()
-        )
+        extra = self.states[rank].log.current_bytes
+        phantom = self._ff_phantom_log.get(rank)
+        if phantom:
+            extra += sum(phantom.values())
+        return extra
 
     def _after_checkpoint(self, rank: int, record: CheckpointRecord) -> None:
         """Record the acknowledgement data for log garbage collection.
@@ -234,11 +237,12 @@ class HydEEProtocol(ClusteredProtocolBase):
             return
         state = self.states[rank]
         acks = {
-            sender: state.rpp.max_date(sender)
-            for sender in state.rpp.senders()
-            if state.rpp.max_date(sender) > 0
+            sender: channel.max_date
+            for sender, channel in state.rpp.channels()
+            if channel.max_date > 0
         }
-        self._pending_gc_acks[(self.cluster_of(rank), record.iteration, rank)] = acks
+        if acks:
+            self._pending_gc_acks[(self.cluster_of(rank), record.iteration, rank)] = acks
 
     def _on_cluster_checkpoint_complete(self, cluster_id: int, iteration: int) -> None:
         """Log garbage collection (Section III-E).
@@ -400,13 +404,15 @@ class HydEEProtocol(ClusteredProtocolBase):
                 raise ProtocolError(f"control message {cm.kind!r} but no recovery is active")
             self.orchestrator.handle(cm.kind, cm.sender, cm.data or {})
             return
-        handlers = {
-            "rollback": self._on_rollback_notification,
-            "last_date": self._on_last_date,
-            NOTIFY_SEND_LOG: self._on_notify_send_log,
-            NOTIFY_SEND_MSG: self._on_notify_send_msg,
-            "gc_ack": self._on_gc_ack,
-        }
+        handlers = self._control_handlers
+        if handlers is None:
+            handlers = self._control_handlers = {
+                "rollback": self._on_rollback_notification,
+                "last_date": self._on_last_date,
+                NOTIFY_SEND_LOG: self._on_notify_send_log,
+                NOTIFY_SEND_MSG: self._on_notify_send_msg,
+                "gc_ack": self._on_gc_ack,
+            }
         handler = handlers.get(cm.kind)
         if handler is None:
             raise ProtocolError(f"HydEE: unknown control message kind {cm.kind!r}")

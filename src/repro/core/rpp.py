@@ -95,6 +95,10 @@ class RPPTable:
     def senders(self) -> Iterable[int]:
         return self._channels.keys()
 
+    def channels(self) -> Iterable[Tuple[int, ChannelRecord]]:
+        """(sender, record) view over the incoming channels."""
+        return self._channels.items()
+
     def entry_count(self) -> int:
         return sum(len(c.phases) for c in self._channels.values())
 

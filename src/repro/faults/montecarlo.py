@@ -31,6 +31,10 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import os
+import shutil
+import tempfile
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -39,6 +43,7 @@ from repro.errors import ConfigurationError
 from repro.results.metrics import MetricSet
 from repro.results.run import RunResult, make_payload
 from repro.scenarios.spec import ScenarioSpec
+from repro.simulator.calibration import CalibrationCache, activated
 
 #: metric namespaces folded into ``faults.*`` statistics (link-level trees
 #: are per-topology detail, not Monte Carlo observables).
@@ -170,6 +175,69 @@ class MonteCarloResult:
         return self.metrics.get(path, default)
 
 
+def prewarm_calibration(base: ScenarioSpec, cache: CalibrationCache) -> bool:
+    """Calibrate the shared hybrid warm-up model for ``base``, once.
+
+    Runs the *failure-free* variant of the scenario (same workload,
+    protocol, network, and config -- only the failure sources stripped, so
+    it shares the replicas' :meth:`~repro.scenarios.spec.ScenarioSpec.
+    calibration_key`) in hybrid mode and stores its exported calibration in
+    ``cache``.  Replicas that later find the entry skip their own DES
+    warm-up entirely (:meth:`repro.simulator.hybrid.HybridDirector.
+    _cached_calibration`); the two-probe check still re-verifies the model
+    against real per-message iterations before every batched advance.
+
+    Returns ``True`` when the cache holds a usable entry afterwards.  A
+    scenario whose failure-free run cannot calibrate (static fallback, too
+    few iterations, ...) returns ``False`` and replicas warm up themselves
+    exactly as before -- the pre-warm is a pure fast path, never a
+    behaviour change.
+    """
+    from repro.scenarios.build import build
+
+    key = base.calibration_key()
+    if cache.get(key) is not None:
+        return True
+    free = dataclasses.replace(
+        base,
+        name=f"{base.name}#calibration",
+        failures=(),
+        fault_model=None,
+        execution="hybrid",
+        tags={},
+    )
+    sim = build(free)
+    sim.run()
+    entry = sim.hybrid_calibration
+    if not entry:
+        return False
+    cache.put(key, entry)
+    cache.save()
+    return True
+
+
+def _calibration_cache(
+    base: ScenarioSpec, store: Optional[ResultsStore], workers: int
+) -> Tuple[Optional[CalibrationCache], Optional[str]]:
+    """The campaign's calibration cache (and a temp dir to clean up).
+
+    The cache file lives alongside the results store
+    (``<store>.calibration.json``) so a re-run of a stored campaign skips
+    even the pre-warm.  A multi-worker campaign without a store still needs
+    a *file* -- worker processes inherit the cache through the
+    ``REPRO_CALIBRATION_CACHE`` environment variable -- so one is
+    materialised in a temporary directory and discarded with it; a serial
+    in-memory campaign keeps the cache purely in memory.
+    """
+    if store is not None and store.path:
+        root, _ext = os.path.splitext(store.path)
+        return CalibrationCache(root + ".calibration.json"), None
+    if workers > 1:
+        tmpdir = tempfile.mkdtemp(prefix="repro-calibration-")
+        return CalibrationCache(os.path.join(tmpdir, "calibration.json")), tmpdir
+    return CalibrationCache(), None
+
+
 def run_montecarlo(
     base: ScenarioSpec,
     replicas: int = DEFAULT_REPLICAS,
@@ -185,15 +253,32 @@ def run_montecarlo(
     records, so a fully-cached campaign aggregates without simulating.
     ``execution`` pins the replica execution mode (see
     :func:`replica_specs`, which defaults replicas to ``"hybrid"``).
+
+    Hybrid campaigns share one warm-up calibration: the failure-free
+    variant of ``base`` is calibrated *before* the fan-out
+    (:func:`prewarm_calibration`) and every replica reads the resulting
+    cache entry, keeping serial and ``--workers N`` campaigns
+    byte-identical while skipping N-1 redundant DES warm-ups.
     """
     from repro.campaign.runner import run_campaign
 
-    outcome = run_campaign(
-        replica_specs(base, replicas, execution=execution),
-        workers=workers,
-        store=store,
-        force=force,
-    )
+    specs = replica_specs(base, replicas, execution=execution)
+    cache = tmpdir = None
+    if specs and specs[0].execution == "hybrid":
+        cache, tmpdir = _calibration_cache(base, store, workers)
+        if not prewarm_calibration(specs[0], cache):
+            cache = None
+    try:
+        with activated(cache) if cache is not None else nullcontext():
+            outcome = run_campaign(
+                specs,
+                workers=workers,
+                store=store,
+                force=force,
+            )
+    finally:
+        if tmpdir is not None:
+            shutil.rmtree(tmpdir, ignore_errors=True)
     runs = tuple(RunResult.from_record(record) for record in outcome.records)
     return MonteCarloResult(
         base=base,

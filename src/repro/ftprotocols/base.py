@@ -131,6 +131,10 @@ class ClusteredProtocolBase(ProtocolHooks):
         self._cluster_of = {
             rank: cid for cid, members in enumerate(self.clusters) for rank in members
         }
+        # Clusters are static for the life of a simulation; the frozen member
+        # sets serve the completeness checks at checkpoint boundaries without
+        # rebuilding a set per rank per boundary.
+        self._member_sets = [frozenset(members) for members in self.clusters]
         sim.control.set_handler(self._dispatch_control)
         for rank in range(sim.nprocs):
             self._init_rank_state(rank)
@@ -169,7 +173,7 @@ class ClusteredProtocolBase(ProtocolHooks):
         cluster_id = self.cluster_of(rank)
         generation = self._cluster_generation.get(cluster_id, 0)
         key = (cluster_id, generation, iteration)
-        members = set(self.members(cluster_id))
+        members = self._member_sets[cluster_id]
         condition = self._ckpt_conditions.get(key)
         if condition is None:
             condition = Condition(name=f"ckpt-c{cluster_id}-g{generation}-it{iteration}")
@@ -233,15 +237,17 @@ class ClusteredProtocolBase(ProtocolHooks):
         per-cluster recovery-line hooks -- is identical.  ``time`` is the
         rank's projected clock at the boundary.
         """
-        proc = self.sim.ranks[rank]
-        for message in proc.unexpected:
-            if not self.is_inter_cluster(message.source, rank):
-                raise ProtocolError(
-                    f"rank {rank}: intra-cluster message from {message.source} is still "
-                    "undelivered at a coordinated checkpoint boundary; the application "
-                    "must complete intra-cluster receives before the boundary"
-                )
-        record = self.sim.storage.save(
+        sim = self.sim
+        proc = sim.ranks[rank]
+        if proc.unexpected:
+            for message in proc.unexpected:
+                if not self.is_inter_cluster(message.source, rank):
+                    raise ProtocolError(
+                        f"rank {rank}: intra-cluster message from {message.source} is still "
+                        "undelivered at a coordinated checkpoint boundary; the application "
+                        "must complete intra-cluster receives before the boundary"
+                    )
+        record = sim.storage.save(
             rank=rank,
             iteration=iteration,
             app_state=state,
@@ -253,20 +259,72 @@ class ClusteredProtocolBase(ProtocolHooks):
         self._latest_checkpoint[rank] = record
         self.pstats.checkpoints += 1
         self.pstats.checkpoint_bytes += record.size_bytes
-        self.sim.stats.rank(rank).checkpoints += 1
-        cost = self.sim.storage.write_cost(record.size_bytes)
+        rank_stats = sim.stats.rank(rank)
+        rank_stats.checkpoints += 1
+        cost = sim.storage.write_cost(record.size_bytes)
         if cost > 0:
             # Exact mode pays the write as a ComputeOp; keep the compute-time
             # counter (and the wasted-work analyses built on it) comparable.
-            self.sim.stats.rank(rank).compute_time += cost
+            rank_stats.compute_time += cost
         self._after_checkpoint(rank, record)
-        cluster_id = self.cluster_of(rank)
+        cluster_id = self._cluster_of[rank]
         generation = self._cluster_generation.get(cluster_id, 0)
         key = (cluster_id, generation, iteration)
         saved = self._ckpt_saved.setdefault(key, set())
         saved.add(rank)
-        if saved == set(self.members(cluster_id)):
+        if saved == self._member_sets[cluster_id]:
             self._on_cluster_checkpoint_complete(cluster_id, iteration)
+
+    def fast_forward_cluster_checkpoint(
+        self, cluster_id: int, iteration: int, states: Dict[int, Any], time_of
+    ) -> None:
+        """Coordinated checkpoint of one whole cluster inside a
+        fast-forwarded epoch.
+
+        The batched driver (:meth:`repro.simulator.hybrid.HybridDirector`'s
+        interval loop) reaches the boundary with every member synchronised in
+        the same call, so the per-member completion set that
+        :meth:`fast_forward_checkpoint` maintains is redundant: each member
+        saves in cluster order and the cluster-complete hook fires once at
+        the end.  ``time_of(rank)`` returns the member's projected clock at
+        the boundary.
+        """
+        sim = self.sim
+        ranks = sim.ranks
+        storage = sim.storage
+        stats = sim.stats
+        pstats = self.pstats
+        latest = self._latest_checkpoint
+        for rank in self.members(cluster_id):
+            proc = ranks[rank]
+            if proc.unexpected:
+                for message in proc.unexpected:
+                    if not self.is_inter_cluster(message.source, rank):
+                        raise ProtocolError(
+                            f"rank {rank}: intra-cluster message from {message.source} is still "
+                            "undelivered at a coordinated checkpoint boundary; the application "
+                            "must complete intra-cluster receives before the boundary"
+                        )
+            state = states[rank]
+            record = storage.save(
+                rank=rank,
+                iteration=iteration,
+                app_state=state,
+                time=time_of(rank),
+                sends_at_checkpoint=proc.sends_initiated,
+                protocol_state=self._checkpoint_payload(rank),
+                size_bytes=self._checkpoint_size(rank, state),
+            )
+            latest[rank] = record
+            pstats.checkpoints += 1
+            pstats.checkpoint_bytes += record.size_bytes
+            rank_stats = stats.rank(rank)
+            rank_stats.checkpoints += 1
+            cost = storage.write_cost(record.size_bytes)
+            if cost > 0:
+                rank_stats.compute_time += cost
+            self._after_checkpoint(rank, record)
+        self._on_cluster_checkpoint_complete(cluster_id, iteration)
 
     def _drain_then_fire(self, cluster_id: int, condition: Condition) -> None:
         members = set(self.members(cluster_id))

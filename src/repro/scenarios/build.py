@@ -263,6 +263,11 @@ def build_config(spec: ScenarioSpec) -> SimulationConfig:
     # The spec's execution mode seeds the config; an explicit config
     # override (e.g. forcing "exact" for a pinning test) wins.
     overrides.setdefault("execution", spec.execution)
+    # Hybrid runs carry the spec's failure-free timing identity so the
+    # director can reuse a shared warm-up calibration (repro.simulator
+    # .calibration); exact runs never consult it.
+    if overrides.get("execution") == "hybrid":
+        overrides.setdefault("calibration_key", spec.calibration_key())
     valid = set(SimulationConfig.__dataclass_fields__) - {"network"}
     unknown = set(overrides) - valid
     if unknown:

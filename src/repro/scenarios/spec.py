@@ -327,6 +327,24 @@ class ScenarioSpec:
         """Content hash of the spec (cache key of campaign result stores)."""
         return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()[:16]
 
+    def calibration_key(self) -> str:
+        """Content hash of the spec's *failure-free timing* identity.
+
+        Hybrid warm-up calibration (see :mod:`repro.simulator.calibration`)
+        depends only on what the ranks do between failures: workload,
+        protocol, clustering, network and config.  The failure draw
+        (``failures``/``fault_model``), the scenario ``name``, free-form
+        ``tags`` and the ``execution`` switch itself do not change iteration
+        timing, so they are stripped before hashing -- Monte Carlo replicas
+        and fault sweeps of one scenario share a single calibration entry,
+        while any timing-relevant change re-keys it.
+        """
+        data = self.to_dict()
+        for irrelevant in ("name", "failures", "fault_model", "execution", "tags"):
+            data.pop(irrelevant, None)
+        canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
     # ------------------------------------------------------------------ misc
     def with_name(self, name: str) -> "ScenarioSpec":
         return dataclasses.replace(self, name=name)

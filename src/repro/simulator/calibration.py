@@ -1,0 +1,147 @@
+"""Shared warm-up calibration cache for hybrid execution.
+
+A hybrid run (see :mod:`repro.simulator.hybrid`) starts with a full-DES
+warm-up whose only product is a calibrated :class:`~repro.simulator.hybrid.
+RateModel`.  Monte Carlo replicas of the same spec differ *only* in their
+failure draw -- the failure-free warm-up timing is identical across the
+whole campaign -- so re-running the warm-up per replica is pure overhead.
+
+:class:`CalibrationCache` stores serialised rate models keyed by
+:meth:`repro.scenarios.spec.ScenarioSpec.calibration_key` -- a spec hash
+with the failure-related fields stripped, so any spec change that could
+affect iteration timing re-keys (and thereby invalidates) the entry, while
+replicas and fault-model sweeps of one scenario share it.  A cached model is
+*not* trusted blindly at run time: the director still verifies every batched
+advance with the two-probe check, so a stale-but-same-key entry can degrade
+throughput, never accuracy.
+
+Determinism contract: a replica that runs with a cached model produces a
+different (warm-up-free) event history than one that calibrates itself, so
+whether the cache is warm must never depend on worker scheduling.  The
+campaign layer therefore pre-warms the cache *before* fanning replicas out
+(:func:`repro.faults.montecarlo.run_montecarlo`), and the director only ever
+reads the active cache -- it never writes it -- keeping serial and
+``--workers N`` campaigns byte-identical.
+
+The cache file lives alongside the campaign's results store and follows the
+same flock + atomic-replace discipline (:mod:`repro.fslock`), so concurrent
+campaign workers never corrupt a shared entry.
+
+Activation is process-wide: :func:`activate` installs a cache path both in
+this process and -- through the ``REPRO_CALIBRATION_CACHE`` environment
+variable -- in worker processes started afterwards (fork or spawn).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+from repro.fslock import atomic_write_json, exclusive_lock
+
+CACHE_VERSION = 1
+_ENV_VAR = "REPRO_CALIBRATION_CACHE"
+
+#: process-local active cache (takes precedence over the environment).
+_active: Optional["CalibrationCache"] = None
+
+
+class CalibrationCache:
+    """JSON-file-backed (or purely in-memory) calibration-entry cache."""
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        if path is not None and os.path.exists(path):
+            self._entries = self._read_entries()
+
+    # ------------------------------------------------------------------- i/o
+    def _read_entries(self) -> Dict[str, Dict[str, Any]]:
+        with open(self.path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        if not isinstance(data, dict) or "entries" not in data:
+            raise ValueError(f"{self.path}: not a calibration cache")
+        version = data.get("version")
+        if version != CACHE_VERSION:
+            raise ValueError(
+                f"{self.path}: unsupported calibration-cache version "
+                f"{version!r}; this build reads version {CACHE_VERSION}"
+            )
+        return dict(data["entries"])
+
+    def save(self) -> None:
+        """Write the cache atomically, merging concurrent writers' entries.
+
+        Same discipline as :meth:`repro.campaign.store.ResultsStore.save`:
+        an exclusive lock on ``<path>.lock`` serialises the merge-and-replace
+        and entries written by other processes since our load are merged in
+        (this process's entries win on key collisions -- by construction
+        they describe the same calibration anyway).
+        """
+        if self.path is None:
+            return
+        with exclusive_lock(self.path):
+            if os.path.exists(self.path):
+                merged = self._read_entries()
+                merged.update(self._entries)
+                self._entries = merged
+            atomic_write_json(
+                self.path, {"version": CACHE_VERSION, "entries": self._entries}
+            )
+
+    # --------------------------------------------------------------- entries
+    def get(self, key: Optional[str]) -> Optional[Dict[str, Any]]:
+        if key is None:
+            return None
+        return self._entries.get(key)
+
+    def put(self, key: str, entry: Dict[str, Any]) -> None:
+        self._entries[key] = entry
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+# ------------------------------------------------------------------ activation
+def active_cache() -> Optional[CalibrationCache]:
+    """The cache hybrid directors should consult, or ``None``.
+
+    Preference order: a cache activated in this process, then one inherited
+    from a parent process through ``REPRO_CALIBRATION_CACHE`` (campaign
+    worker processes land here -- the parent pre-warmed the file before the
+    fan-out, so loading it is enough).
+    """
+    if _active is not None:
+        return _active
+    path = os.environ.get(_ENV_VAR)
+    if path:
+        try:
+            return CalibrationCache(path)
+        except (OSError, ValueError):  # unreadable/corrupt: behave as cold
+            return None
+    return None
+
+
+@contextmanager
+def activated(cache: CalibrationCache) -> Iterator[CalibrationCache]:
+    """Make ``cache`` the active cache for the block (and for child
+    processes started inside it, via the environment)."""
+    global _active
+    previous, previous_env = _active, os.environ.get(_ENV_VAR)
+    _active = cache
+    if cache.path is not None:
+        os.environ[_ENV_VAR] = cache.path
+    try:
+        yield cache
+    finally:
+        _active = previous
+        if cache.path is not None:
+            if previous_env is None:
+                os.environ.pop(_ENV_VAR, None)
+            else:
+                os.environ[_ENV_VAR] = previous_env

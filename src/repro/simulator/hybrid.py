@@ -53,6 +53,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Set, Tupl
 
 from repro.errors import InvalidOperationError, SimulationError
 from repro.ftprotocols.base import ClusteredProtocolBase
+from repro.simulator import calibration as _calibration
 from repro.simulator import collectives as _collectives
 from repro.simulator.communicator import _default_size
 from repro.simulator.engine import Condition
@@ -294,17 +295,31 @@ class FastForwardCommunicator:
 class RateModel:
     """Per-rank iteration-rate model calibrated from the DES warm-up.
 
-    ``dt[rank]`` is the median duration of a plain iteration, ``ckpt_extra``
-    the extra cost of an iteration whose boundary takes a coordinated
-    checkpoint (zero when ``interval`` is falsy or 1 -- with per-iteration
-    checkpointing the cost is already inside every sampled delta).
+    Two flavours share one interface:
+
+    * **flat** (``phases is None``): ``dt[rank]`` is the median duration of a
+      plain iteration, ``ckpt_extra`` the extra cost of an iteration whose
+      boundary takes a coordinated checkpoint (zero when ``interval`` is
+      falsy or 1 -- with per-iteration checkpointing the cost is already
+      inside every sampled delta).  Used for aperiodic protocols and
+      explicitly shortened warm-ups.
+    * **phase-indexed** (``phases[rank]`` = list of ``interval`` durations):
+      under a periodic checkpoint schedule the steady-state iteration
+      durations are *periodic in* ``i % interval`` -- link-contention beats
+      plus the checkpoint-cost ripple repeat exactly once the transient has
+      decayed -- so the model stores one duration per phase, verified
+      against the previous period during calibration.  Projection walks the
+      phase sequence via prefix sums and is exact (to float noise) in steady
+      state, which is what lets workloads with strongly bimodal iteration
+      durations (ring, cg, lu, ...) fast-forward at all.
     """
 
     __slots__ = ("dt", "ckpt_extra", "interval", "dt_mean", "dt_spread",
-                 "min_dt", "max_dt")
+                 "min_dt", "max_dt", "phases", "_period", "_cum")
 
     def __init__(self, dt: Dict[int, float], ckpt_extra: Dict[int, float],
-                 interval: int, dt_spread: float) -> None:
+                 interval: int, dt_spread: float,
+                 phases: Optional[Dict[int, List[float]]] = None) -> None:
         self.dt = dt
         self.ckpt_extra = ckpt_extra
         #: checkpoint interval in iterations (0 = no periodic checkpoints or
@@ -312,18 +327,94 @@ class RateModel:
         self.interval = interval
         self.dt_mean = sum(dt.values()) / len(dt)
         self.dt_spread = dt_spread
-        self.min_dt = min(dt.values())
-        self.max_dt = max(dt[r] + ckpt_extra[r] for r in dt)
+        #: rank -> per-phase durations (phase of the delta ending at count
+        #: ``i`` is ``i % interval``); ``None`` selects the flat model.
+        self.phases = phases
+        if phases is not None:
+            k = interval
+            self._cum = {}
+            self._period = {}
+            for rank, seq in phases.items():
+                cum = [0.0] * k
+                acc = 0.0
+                for j in range(1, k):
+                    acc += seq[j]
+                    cum[j] = acc
+                self._cum[rank] = cum
+                self._period[rank] = acc + seq[0]
+            self.min_dt = min(min(seq) for seq in phases.values())
+            self.max_dt = max(max(seq) for seq in phases.values())
+        else:
+            self._cum = None
+            self._period = None
+            self.min_dt = min(dt.values())
+            self.max_dt = max(dt[r] + ckpt_extra[r] for r in dt)
 
+    # -------------------------------------------------------- serialisation
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form for the calibration cache (float-exact: ``json``
+        round-trips Python floats through ``repr``)."""
+        return {
+            "dt": {str(r): v for r, v in self.dt.items()},
+            "ckpt_extra": {str(r): v for r, v in self.ckpt_extra.items()},
+            "interval": self.interval,
+            "dt_spread": self.dt_spread,
+            "phases": (
+                None if self.phases is None
+                else {str(r): list(seq) for r, seq in self.phases.items()}
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RateModel":
+        phases = data.get("phases")
+        return cls(
+            dt={int(r): float(v) for r, v in data["dt"].items()},
+            ckpt_extra={int(r): float(v) for r, v in data["ckpt_extra"].items()},
+            interval=int(data["interval"]),
+            dt_spread=float(data["dt_spread"]),
+            phases=(
+                None if phases is None
+                else {int(r): [float(v) for v in seq] for r, seq in phases.items()}
+            ),
+        )
+
+    # ----------------------------------------------------------- projection
     def checkpoints_between(self, b: int, m: int) -> int:
         """Checkpoint boundaries in the half-open iteration-count range (b, m]."""
         if not self.interval:
             return 0
         return m // self.interval - b // self.interval
 
+    def _phase_sum(self, rank: int, m: int) -> float:
+        """Sum of the phase durations of deltas ``1..m`` (``S(m)``)."""
+        k = self.interval
+        return (m // k) * self._period[rank] + self._cum[rank][m % k]
+
     def project(self, rank: int, t0: float, b: int, m: int) -> float:
         """Projected clock of ``rank`` at iteration count ``m``, anchored at
-        ``t0`` = its observed clock at count ``b``."""
+        ``t0`` = its observed clock at count ``b``.
+
+        Phase model: a checkpoint taken at boundary count ``c`` is observed
+        inside the *next* delta (the one ending at ``c + 1``), but a rank
+        resuming (or finishing) exactly at a boundary has already paid for
+        that checkpoint -- so the boundary surcharge is added when ``m``
+        lands on a boundary and removed when the anchor ``b`` does, keeping
+        the projection consistent with the flat model's
+        ``checkpoints_between(b, m]`` convention.
+        """
+        if self.phases is not None:
+            if m == b:
+                return t0
+            t = t0 + (self._phase_sum(rank, m) - self._phase_sum(rank, b))
+            k = self.interval
+            extra = self.ckpt_extra[rank]
+            if extra:
+                if m % k == 0 and m > 0:
+                    t += extra
+                if b % k == 0 and b > 0:
+                    t -= extra
+            return t
         extra = self.checkpoints_between(b, m) * self.ckpt_extra[rank]
         return t0 + (m - b) * self.dt[rank] + extra
 
@@ -336,12 +427,13 @@ class RateModel:
         if t <= t0:
             return b
         rate = self.dt[rank]
-        if self.interval:
+        if self.interval and self.phases is None:
             rate += self.ckpt_extra[rank] / self.interval
         if rate <= 0.0:
             return b
         # The amortised seed is within one checkpoint period of the exact
-        # answer; the two walks below correct the interval-alignment error.
+        # answer; the two walks below correct the interval-alignment (and,
+        # for the phase model, phase-accumulation) error.
         m = b + int((t - t0) / rate) + 1
         while m > b and self.project(rank, t0, b, m) > t:
             m -= 1
@@ -352,11 +444,14 @@ class RateModel:
     def max_iterations_by(self, rank: int, t0: float, b: int, deadline: float) -> int:
         """Largest count ``m >= b`` with ``project(rank, t0, b, m) <= deadline``.
 
-        Conservative: one full ``ckpt_extra`` is subtracted from the usable
-        window so a checkpoint boundary landing early in the span (alignment
-        of ``b`` with the interval) can never push the projection past the
-        deadline.
+        Flat model: conservative -- one full ``ckpt_extra`` is subtracted
+        from the usable window so a checkpoint boundary landing early in the
+        span (alignment of ``b`` with the interval) can never push the
+        projection past the deadline.  Phase model: the projection accounts
+        for every boundary exactly, so the exact walk is already safe.
         """
+        if self.phases is not None:
+            return self.iterations_at(rank, t0, b, deadline)
         rate = self.dt[rank]
         usable = deadline - t0
         if self.interval:
@@ -391,6 +486,7 @@ class HybridDirector:
         self.stats: Dict[str, float] = {
             "enabled": 0,
             "fallback": 0,
+            "calibration_cached": 0,
             "warmup_iterations": 0,
             "guard_iterations": 0,
             "epochs": 0,
@@ -407,7 +503,31 @@ class HybridDirector:
         sim = self.sim
         config = sim.config
         total = int(sim.application.num_iterations)
-        warmup = int(config.hybrid_warmup_iterations) or max(3, self._interval + 2)
+        explicit_warmup = int(config.hybrid_warmup_iterations)
+        if explicit_warmup:
+            warmup = explicit_warmup
+        elif self._interval > 1:
+            # The phase model needs two full checkpoint periods to verify
+            # that the per-phase durations have settled, and slow-decaying
+            # transients (pipeline fill, checkpoint-ripple workloads like
+            # cg) need up to four.  The warm-up must run as ONE ungated
+            # stretch -- parking ranks mid-warm-up and releasing them
+            # imprints a period-aligned stall on the measured deltas that
+            # the periodicity check cannot distinguish from real timing --
+            # so the length is chosen up front: the largest affordable rung
+            # given the iteration budget and any iteration-triggered strike.
+            k = self._interval
+            i_f = (
+                sim.failure_injector.next_iteration_trigger()
+                if sim.failure_injector else None
+            )
+            warmup = 2 * k + 2
+            for rung in (4 * k + 2, 3 * k + 2):
+                if total >= rung + 2 and (i_f is None or i_f > rung):
+                    warmup = rung
+                    break
+        else:
+            warmup = max(3, self._interval + 2)
         guard_i = max(1, int(config.hybrid_guard_iterations))
         sim.hybrid_stats = self.stats
         self.stats["warmup_iterations"] = warmup
@@ -417,9 +537,11 @@ class HybridDirector:
         if reason is not None:
             return self._run_exact_from_start(reason)
 
-        gate = IterationGate(warmup)
+        cached = self._cached_calibration()
+        gate = IterationGate(0 if cached is not None else warmup)
         sim.iteration_gate = gate
-        self._install_listener()
+        if cached is None:
+            self._install_listener()
         sim.protocol.on_simulation_start()
         sim._start_ranks()
         engine_reason = self._run_warmup_segment()
@@ -440,9 +562,21 @@ class HybridDirector:
                 gate, "the first timed strike lands inside the warm-up"
             )
 
-        model, calib_reason = self._calibrate(total, warmup)
-        if model is None:
-            return self._abandon(gate, calib_reason)
+        if cached is not None:
+            model = self._apply_cached_calibration(cached, gate)
+        else:
+            model, calib_reason = self._calibrate(total, warmup)
+            if model is None:
+                return self._abandon(gate, calib_reason)
+            # Export for the calibration cache (repro.simulator.calibration):
+            # the campaign pre-warm harvests this from a failure-free run.
+            sim.hybrid_calibration = {
+                "model": model.to_dict(),
+                "warmup": warmup,
+                "park_times": {
+                    rank: entry[1] for rank, entry in gate.parked.items()
+                },
+            }
         self.stats["enabled"] = 1
         self.stats["dt_mean_s"] = model.dt_mean
         self.stats["dt_spread"] = model.dt_spread
@@ -480,7 +614,13 @@ class HybridDirector:
             advanced = False
             if len(parked_its) == 1:
                 b = b_max
-                e = total
+                # Stop the analytic span one iteration short of the end: the
+                # final iteration -- and with it the final checkpoint and the
+                # protocol teardown -- runs under exact DES, so the run's
+                # finish timing is measured, not modelled (the boundary
+                # surcharge at the last checkpoint is an estimate; barrier
+                # wait and write cost cannot be separated from warm-up data).
+                e = total - 1
                 if i_f is not None:
                     e = min(e, max(b, i_f - guard_i))
                 if t_f is not None:
@@ -491,10 +631,7 @@ class HybridDirector:
                 if e > b:
                     self._fast_forward_epoch(b, e, model, gate)
                     advanced = True
-                    if e >= total:
-                        sim.iteration_gate = None
-                    else:
-                        gate.limit = max(g, e + 1)
+                    gate.limit = max(g, e + 1)
             if not advanced:
                 self._raise_gate(gate, g)
             engine_reason = self._run_segment()
@@ -590,10 +727,144 @@ class HybridDirector:
     def _remove_listener(self) -> None:
         self.sim._iteration_listener = None
 
+    # ----------------------------------------------------- calibration cache
+    def _cached_calibration(self) -> Optional[Dict[str, Any]]:
+        """A validated calibration-cache entry for this run, or ``None``.
+
+        The entry is keyed by ``config.calibration_key`` (set by the
+        scenario builder from :meth:`ScenarioSpec.calibration_key`) and must
+        structurally match this simulation -- same checkpoint interval, same
+        rank set.  A hit replaces the DES warm-up entirely; it is still
+        re-verified at run time by the two-probe check before every batched
+        advance, so a wrong-but-matching entry can cost throughput, never
+        accuracy.
+        """
+        key = getattr(self.sim.config, "calibration_key", None)
+        if not key:
+            return None
+        cache = _calibration.active_cache()
+        entry = cache.get(key) if cache is not None else None
+        if not entry:
+            return None
+        try:
+            model = RateModel.from_dict(entry["model"])
+            warmup = int(entry["warmup"])
+            park_times = {
+                int(rank): float(t)
+                for rank, t in entry["park_times"].items()
+            }
+        except (KeyError, TypeError, ValueError, AttributeError):
+            return None
+        expected_interval = self._interval if self._interval > 1 else 0
+        if model.interval != expected_interval:
+            return None
+        ranks = set(self.sim.ranks)
+        if set(model.dt) != ranks or set(park_times) != ranks:
+            return None
+        if warmup < 1:
+            return None
+        return {"model": model, "warmup": warmup, "park_times": park_times}
+
+    def _apply_cached_calibration(
+        self, cached: Dict[str, Any], gate: IterationGate
+    ) -> RateModel:
+        """Anchor the parked-at-zero ranks so the cached model's projection
+        reproduces the calibrating run's observed clocks.
+
+        The phase model describes *steady-state* timing; iterations inside
+        the calibrating run's warm-up carry a transient the projection does
+        not see.  Rewriting each rank's park-time anchor by
+        ``offset = T_park(W) - project(0, 0 -> W)`` makes the projection
+        land exactly on the calibrated park time at count ``W``, folding the
+        whole transient into the anchor instead of into per-iteration error.
+        """
+        model: RateModel = cached["model"]
+        warmup = cached["warmup"]
+        park_times = cached["park_times"]
+        for rank, entry in list(gate.parked.items()):
+            anchor = park_times[rank] - model.project(rank, 0.0, 0, warmup)
+            gate.parked[rank] = (entry[0], anchor, entry[2], entry[3])
+        self.stats["warmup_iterations"] = 0
+        self.stats["calibration_cached"] = 1
+        return model
+
+    #: relative tolerance for "two consecutive warm-up periods agree": the
+    #: settled DES is deterministic, so steady-state residuals are float
+    #: noise (~1e-14) while a live transient shows up at 1e-3 and above.
+    _PHASE_TOL = 1e-9
+
     def _calibrate(
         self, total: int, warmup: int
     ) -> Tuple[Optional[RateModel], str]:
         """Fit the per-rank rate model from warm-up boundary times.
+
+        Periodic protocols with at least two observed periods get the
+        phase-indexed model; everything else (no periodic checkpoints,
+        per-iteration checkpoints, explicitly shortened warm-ups) keeps the
+        flat median model.
+        """
+        k = self._interval
+        if k > 1 and warmup >= 2 * k + 2:
+            return self._calibrate_phases(warmup)
+        return self._calibrate_flat(total, warmup)
+
+    def _calibrate_phases(
+        self, warmup: int
+    ) -> Tuple[Optional[RateModel], str]:
+        """Fit the phase-indexed model (see :class:`RateModel`).
+
+        The delta ending at completion count ``i`` has phase ``i % k``; the
+        model takes each phase's *last* observed duration and accepts it only
+        when it matches the observation one period earlier to float
+        precision, i.e. the warm-up transient has fully decayed.
+        """
+        k = self._interval
+        phases: Dict[int, List[float]] = {}
+        dt: Dict[int, float] = {}
+        extra: Dict[int, float] = {}
+        residual = 0.0
+        for rank, times in self._iter_times.items():
+            by_phase: List[List[float]] = [[] for _ in range(k)]
+            for i in range(2, warmup + 1):
+                t1 = times.get(i)
+                t0 = times.get(i - 1)
+                if t1 is None or t0 is None:
+                    continue
+                delta = t1 - t0
+                if delta < 0.0:
+                    # A failure rolled this rank back mid-warm-up and the
+                    # re-execution overwrote earlier samples.
+                    return None, "warm-up disturbed by a failure"
+                by_phase[i % k].append(delta)
+            seq: List[float] = []
+            for j in range(k):
+                samples = by_phase[j]
+                if len(samples) < 2:
+                    return None, f"rank {rank} produced no usable warm-up samples"
+                last, prev = samples[-1], samples[-2]
+                ref = max(abs(last), abs(prev), 1e-300)
+                residual = max(residual, abs(last - prev) / ref)
+                seq.append(last)
+            phases[rank] = seq
+            dt[rank] = sum(seq) / k
+            # The checkpoint taken at a boundary count ``i - 1`` lands in
+            # the delta ending at ``i``, i.e. phase 1; its surcharge over
+            # the median plain phase is reported as ``ckpt_extra``.
+            others = sorted(seq[j] for j in range(k) if j != 1)
+            extra[rank] = max(0.0, seq[1] - others[len(others) // 2])
+        if residual > self._PHASE_TOL:
+            return None, (
+                f"iteration durations not yet periodic after {warmup} "
+                f"warm-up iterations (period residual {residual:.2e})"
+            )
+        if min(dt.values()) <= 0.0:
+            return None, "degenerate warm-up iteration durations"
+        return RateModel(dt, extra, k, residual, phases), ""
+
+    def _calibrate_flat(
+        self, total: int, warmup: int
+    ) -> Tuple[Optional[RateModel], str]:
+        """Fit the flat (single median duration) rate model.
 
         The boundary-time listener fires *before* iteration-boundary hooks,
         so the delta ending at completion count ``i`` includes the checkpoint
@@ -774,9 +1045,10 @@ class HybridDirector:
         checkpoint intervals analytically when it is safe to do so.
 
         The batched fast path never runs the application generators or the
-        per-message protocol hooks: it extrapolates a *verified* per-iteration
-        state delta (two consecutive per-message probe iterations must
-        produce identical deltas) across each checkpoint interval, takes the
+        per-message protocol hooks: it extrapolates a *verified* state delta
+        (consecutive per-message probe iterations must produce identical
+        deltas, per iteration or per iteration pair -- see
+        :meth:`_probe_deltas`) across each checkpoint interval, takes the
         coordinated checkpoints for real, and falls back to the per-message
         drive for whatever it cannot cover -- the probe window itself, the
         tail beyond the last checkpoint boundary (whose sender logs a later
@@ -786,27 +1058,51 @@ class HybridDirector:
         plan = self._plan_batch(b, e)
         cur = b
         if plan is not None:
-            probe_end, batch_end = plan
-            if probe_end - 2 > cur:
-                self._drive_iterations(b, probe_end - 2, model, anchors)
-            deltas = self._probe_deltas(b, probe_end, model, anchors)
+            probe_end, batch_end, probe_span = plan
+            if probe_end - probe_span > cur:
+                self._drive_iterations(b, probe_end - probe_span, model,
+                                       anchors)
+            deltas = self._probe_deltas(b, probe_end, probe_span, model,
+                                        anchors)
             cur = probe_end
             if deltas is not None:
+                cur, stride, d_proto, d_sim = deltas
+                end = batch_end
+                if stride == 2 and (end - cur) % 2:
+                    # Pair extrapolation advances two iterations at a time;
+                    # leave an odd final iteration to the per-message tail.
+                    end -= 1
                 cur = self._batch_intervals(
-                    cur, batch_end, model, anchors, b, deltas
+                    cur, end, model, anchors, b, (d_proto, d_sim), stride
                 )
         if e > cur:
             self._drive_iterations(b, e, model, anchors, start=cur)
 
-    def _plan_batch(self, b: int, e: int) -> Optional[Tuple[int, int]]:
-        """``(probe_end, batch_end)`` for a batched advance, or ``None``.
+    def _plan_batch(self, b: int, e: int) -> Optional[Tuple[int, int, int]]:
+        """``(probe_end, batch_end, probe_span)`` for a batched advance,
+        or ``None``.
 
         Batching needs: a bulk-capable workload, a protocol that can
         extrapolate its epoch state (``ff_epoch_snapshot``), the slim trace
         path (per-event records require real messages), and -- whenever any
         failure strike is still pending -- checkpoint intervals of at least
         3 iterations, so the batch can end on a recovery line *and* a
-        boundary-free two-iteration probe window exists.
+        boundary-free probe window exists.
+
+        ``probe_span`` is the number of per-message probe iterations driven
+        before extrapolating.  Wide enough intervals (and unclustered runs)
+        get a four-iteration window, which additionally supports pair
+        (stride-2) verification for protocol state whose per-iteration delta
+        alternates with period two; tight intervals keep the classic
+        two-iteration window.
+
+        Longer periods cannot be batched at all: verifying stride ``s``
+        needs ``2*s`` boundary-free probe deltas, so ``s`` is capped at
+        ``(k - 2) // 2`` -- state whose delta period exceeds that (the
+        max-based causal phase clock on a ring topology propagates
+        cluster-edge phase bumps with a period set by the cluster diameter)
+        fails the probe every epoch and correctly stays on the per-message
+        fast-forward path.
         """
         sim = self.sim
         if sim.config.record_trace_events:
@@ -827,52 +1123,101 @@ class HybridDirector:
             batch_end = (e // k) * k
         else:
             batch_end = e
-        probe_end = b + 2
-        if k:
+        probe_span = 4 if (not k or (k % 2 == 0 and k >= 8)) else 2
+        probe_end = b + probe_span
+        if k and probe_span == 4:
+            # All four probed deltas must end strictly inside an interval
+            # (residue not 0: no checkpoint boundary inside the window;
+            # not 1: no delta carrying a checkpoint's cost), and probe_end
+            # must be even so every boundary-aligned chunk after it has
+            # even length for pair extrapolation (k is even here).
+            while (probe_end % 2
+                   or any((probe_end - j) % k in (0, 1) for j in range(4))):
+                probe_end += 1
+        elif k:
             while probe_end % k == 0 or (probe_end - 1) % k == 0:
                 probe_end += 1
         if batch_end <= probe_end:
             return None
         if sim.protocol.ff_epoch_snapshot() is None:
             return None
-        return probe_end, batch_end
+        return probe_end, batch_end, probe_span
 
-    def _probe_deltas(self, b: int, probe_end: int, model: RateModel,
-                      anchors: Dict[int, float]) -> Optional[Tuple[Any, Any]]:
-        """Drive the two probe iterations per message and extract the
-        per-iteration deltas, or ``None`` when they disagree.
+    def _probe_deltas(self, b: int, probe_end: int, probe_span: int,
+                      model: RateModel, anchors: Dict[int, float]
+                      ) -> Optional[Tuple[int, int, Any, Any]]:
+        """Drive probe iterations per message and extract a verified
+        ``(cur, stride, proto_delta, counter_delta)``, or ``None``.
 
-        Always leaves every rank at count ``probe_end``: a failed probe costs
-        nothing beyond the per-message work the fallback needed anyway.
+        The probe is adaptive: two consecutive single-iteration deltas that
+        already agree settle a stride-1 delta after only two driven
+        iterations (``cur`` is then two short of ``probe_end`` and batching
+        starts early).  Only when they disagree -- and the window is the
+        four-iteration kind -- are the remaining probe iterations driven:
+        four agreeing singles still yield stride 1, and deltas that
+        alternate with period two are caught by comparing the two
+        consecutive *pair* deltas instead, yielding a stride-2 delta
+        extrapolated two iterations at a time by :meth:`_batch_intervals`.
+
+        On failure every rank is left at count ``probe_end``: a failed probe
+        costs nothing beyond the per-message work the fallback needed
+        anyway.
         """
         sim = self.sim
         protocol = sim.protocol
-        s0 = self._ff_counters_snapshot()
-        p0 = protocol.ff_epoch_snapshot()
-        self._drive_iterations(b, probe_end - 1, model, anchors,
-                               start=probe_end - 2)
-        s1 = self._ff_counters_snapshot()
-        p1 = protocol.ff_epoch_snapshot()
-        self._drive_iterations(b, probe_end, model, anchors,
-                               start=probe_end - 1)
-        s2 = self._ff_counters_snapshot()
-        p2 = protocol.ff_epoch_snapshot()
-        if p0 is None or p1 is None or p2 is None:
+        start = probe_end - probe_span
+        counters = [self._ff_counters_snapshot()]
+        protos = [protocol.ff_epoch_snapshot()]
+
+        def drive_to(upto: int) -> None:
+            self._drive_iterations(b, upto, model, anchors, start=upto - 1)
+            counters.append(self._ff_counters_snapshot())
+            protos.append(protocol.ff_epoch_snapshot())
+
+        def clean() -> bool:
+            # In-transit application messages (a workload running ahead
+            # across iteration boundaries) would be invisible to the
+            # extrapolation.
+            if any(p is None for p in protos):
+                return False
+            return not any(sim.ranks[rank].unexpected for rank in anchors)
+
+        drive_to(start + 1)
+        drive_to(start + 2)
+        if clean():
+            d0 = protocol.ff_epoch_delta(protos[0], protos[1])
+            d1 = protocol.ff_epoch_delta(protos[1], protos[2])
+            if d0 is not None and d0 == d1:
+                c0 = self._counter_delta(counters[0], counters[1])
+                c1 = self._counter_delta(counters[1], counters[2])
+                if self._deltas_match(c0, c1):
+                    return start + 2, 1, d1, c1
+        if probe_span < 4:
             return None
-        d1 = protocol.ff_epoch_delta(p0, p1)
-        d2 = protocol.ff_epoch_delta(p1, p2)
-        if d1 is None or d2 is None or d1 != d2:
+        drive_to(start + 3)
+        drive_to(start + 4)
+        if not clean():
             return None
-        c1 = self._counter_delta(s0, s1)
-        c2 = self._counter_delta(s1, s2)
-        if not self._deltas_match(c1, c2):
+        singles = [
+            protocol.ff_epoch_delta(protos[i], protos[i + 1])
+            for i in range(probe_span)
+        ]
+        if all(d is not None and d == singles[-1] for d in singles):
+            c_singles = [
+                self._counter_delta(counters[i], counters[i + 1])
+                for i in range(probe_span)
+            ]
+            if all(self._deltas_match(c, c_singles[-1]) for c in c_singles):
+                return probe_end, 1, singles[-1], c_singles[-1]
+        pair_a = protocol.ff_epoch_delta(protos[0], protos[2])
+        pair_b = protocol.ff_epoch_delta(protos[2], protos[4])
+        if pair_a is None or pair_b is None or pair_a != pair_b:
             return None
-        # In-transit application messages (a workload running ahead across
-        # iteration boundaries) would be invisible to the extrapolation.
-        for rank in anchors:
-            if sim.ranks[rank].unexpected:
-                return None
-        return d2, c2
+        cpair_a = self._counter_delta(counters[0], counters[2])
+        cpair_b = self._counter_delta(counters[2], counters[4])
+        if not self._deltas_match(cpair_a, cpair_b):
+            return None
+        return probe_end, 2, pair_b, cpair_b
 
     def _ff_counters_snapshot(self) -> Tuple[Any, ...]:
         sim = self.sim
@@ -951,9 +1296,17 @@ class HybridDirector:
                 counts[rank] = counts.get(rank, 0) + n * d_count
 
     def _batch_intervals(self, cur: int, batch_end: int, model: RateModel,
-                         anchors: Dict[int, float], b0: int, deltas) -> int:
+                         anchors: Dict[int, float], b0: int, deltas,
+                         stride: int = 1) -> int:
         """Extrapolate verified deltas interval by interval up to
-        ``batch_end``, taking each coordinated checkpoint for real."""
+        ``batch_end``, taking each coordinated checkpoint for real.
+
+        ``stride`` is the iteration granularity the verified delta covers
+        (1 for the classic per-iteration probe, 2 for a pair delta); every
+        chunk is extrapolated in whole strides, and a chunk that is not a
+        stride multiple ends the batch early -- the per-message tail picks
+        up from there.
+        """
         sim = self.sim
         protocol = sim.protocol
         app = sim.application
@@ -968,23 +1321,31 @@ class HybridDirector:
         while cur < batch_end:
             nxt = min(batch_end, ((cur // k) + 1) * k) if k else batch_end
             n = nxt - cur
+            units, rem = divmod(n, stride)
+            if rem:
+                return cur
             if not app.fast_forward_states(states, cur, n):
                 raise SimulationError(
                     f"workload {app.name!r} refused a batched state advance "
                     f"({cur}..{nxt}) after declaring ff_bulk_compatible"
                 )
-            protocol.ff_epoch_apply(d_proto, n)
-            self._apply_counter_delta(d_sim, n)
+            protocol.ff_epoch_apply(d_proto, units)
+            self._apply_counter_delta(d_sim, units)
             self.stats["batched_iterations"] += n * len(anchors)
             for rank in anchors:
                 sim.ranks[rank].completed_iterations = nxt
             if k and nxt % k == 0:
-                for cluster in clusters:
-                    for member in protocol.members(cluster):
-                        protocol.fast_forward_checkpoint(
-                            member, nxt, states[member],
-                            model.project(member, anchors[member], b0, nxt),
+                control = sim.control
+                control.begin_buffering()
+                try:
+                    def time_of(member, _nxt=nxt):
+                        return model.project(member, anchors[member], b0, _nxt)
+                    for cluster in clusters:
+                        protocol.fast_forward_cluster_checkpoint(
+                            cluster, nxt, states, time_of
                         )
+                finally:
+                    control.flush(t_strike)
                 self._drain_scheduled(t_strike)
             cur = nxt
         return cur

@@ -68,6 +68,11 @@ class SimulationConfig:
     #: Calibration guard: fall back to exact execution when the warm-up's
     #: pooled iteration durations spread (max-min)/median beyond this.
     hybrid_max_dt_spread: float = 0.25
+    #: Cache key of this run's failure-free timing identity
+    #: (:meth:`ScenarioSpec.calibration_key`); when set and a matching entry
+    #: exists in the active :class:`repro.simulator.calibration.
+    #: CalibrationCache`, the hybrid director skips the DES warm-up.
+    calibration_key: Optional[str] = None
 
 
 @dataclass
@@ -142,6 +147,10 @@ class Simulation:
         self.iteration_gate = None
         self._iteration_listener = None
         self.hybrid_stats: Optional[Dict[str, Any]] = None
+        #: serialisable warm-up calibration of a successful hybrid run
+        #: (model + park times); harvested by the campaign pre-warm into the
+        #: shared calibration cache.
+        self.hybrid_calibration: Optional[Dict[str, Any]] = None
         self.stats.protocol = getattr(self.protocol, "name", "none")
         self.protocol.attach(self)
         if self.failure_injector is not None:
@@ -461,6 +470,9 @@ class Simulation:
             # on noisy warm-ups.
             for key in sorted(self.hybrid_stats):
                 metrics.set(f"sim.hybrid.{key}", self.hybrid_stats[key])
+            reason = self.stats.extra.get("hybrid_fallback_reason")
+            if reason:
+                metrics.set("sim.hybrid.fallback_reason", reason)
         metrics.merge(self.protocol.metrics())
         topology = self.transport.topology
         if topology is not None and topology.has_shared_links:

@@ -42,6 +42,30 @@ class FTApplication(NASKernelBase):
         yield from comm.compute(self.compute_seconds)
         state["checksum"] = round(0.5 * state["checksum"] + 1e-3 * acc, 9)
 
+    def fast_forward_states(
+        self, states: Dict[int, Dict[str, Any]], start_iteration: int, n: int
+    ) -> bool:
+        """Batched all-to-all transpose.
+
+        Mirrors :meth:`iteration` exactly: the received list is ordered by
+        source rank with the rank's own 0.0 block at its own index, and the
+        accumulator is ``float(sum(...))`` over that sequence -- the same
+        float additions in the same order as the exchanged execution.
+        """
+        if set(states) != set(range(self.nprocs)):
+            return False
+        nprocs = self.nprocs
+        payload = self.payload
+        for it in range(start_iteration, start_iteration + n):
+            for rank, state in states.items():
+                acc = float(sum(
+                    payload(source, rank, it) if source != rank else 0.0
+                    for source in range(nprocs)
+                ))
+                state["received"] += nprocs - 1
+                state["checksum"] = round(0.5 * state["checksum"] + 1e-3 * acc, 9)
+        return True
+
     def communication_matrix(self, weight: str = "bytes") -> np.ndarray:
         per_message = self._scaled(self.block_bytes) if weight == "bytes" else 1
         matrix = np.full((self.nprocs, self.nprocs), float(per_message * self.iterations))

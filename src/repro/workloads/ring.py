@@ -19,6 +19,7 @@ class RingApplication(Application):
     """Unidirectional ring exchange."""
 
     name = "ring"
+    ff_bulk_compatible = True
 
     def __init__(
         self,
@@ -49,6 +50,36 @@ class RingApplication(Application):
         state["value"] = round(state["value"] + 0.5 * message.payload, 6)
         yield from comm.compute(self.compute_seconds)
 
+    def fast_forward_states(
+        self, states: Dict[int, Dict[str, Any]], start_iteration: int, n: int
+    ) -> bool:
+        """Batched ring exchange.
+
+        Each rank's iteration consumes exactly the token its left neighbour
+        produced this iteration (``round(value * (it + 1), 6)``), so the
+        whole round is computable locally.  Tokens are gathered from the
+        pre-update values before any rank mutates, and the state update uses
+        the same roundings as :meth:`iteration`.
+        """
+        if set(states) != set(range(self.nprocs)):
+            return False
+        nprocs = self.nprocs
+        if nprocs == 1:
+            state = states[0]
+            for _ in range(n):
+                state["value"] += 1.0
+            return True
+        for it in range(start_iteration, start_iteration + n):
+            tokens = {
+                rank: round(state["value"] * (it + 1), 6)
+                for rank, state in states.items()
+            }
+            for rank, state in states.items():
+                payload = tokens[(rank - 1) % nprocs]
+                state["received"].append(payload)
+                state["value"] = round(state["value"] + 0.5 * payload, 6)
+        return True
+
     def finalize(self, comm, rank: int, state: Dict[str, Any]) -> Iterator:
         return {"rank": rank, "value": state["value"], "received": tuple(state["received"])}
         yield  # pragma: no cover
@@ -75,6 +106,7 @@ class PipelineApplication(Application):
     """
 
     name = "pipeline"
+    ff_bulk_compatible = True
 
     def __init__(
         self,
@@ -110,6 +142,31 @@ class PipelineApplication(Application):
                     rank + 1, payload=value, tag=20, size_bytes=self.message_bytes
                 )
             state["acc"] += value
+
+    def fast_forward_states(
+        self, states: Dict[int, Dict[str, Any]], start_iteration: int, n: int
+    ) -> bool:
+        """Batched pipeline advance.
+
+        Rank 0's per-iteration value is ``float(it + 1)`` and each later
+        rank adds 1.0 to the value it receives, so the chain is computed in
+        rank order exactly as the forwarded messages would produce it.
+        """
+        if set(states) != set(range(self.nprocs)):
+            return False
+        nprocs = self.nprocs
+        if nprocs == 1:
+            state = states[0]
+            for it in range(start_iteration, start_iteration + n):
+                state["acc"] += it + 1.0
+            return True
+        for it in range(start_iteration, start_iteration + n):
+            value = float(it + 1)
+            states[0]["acc"] += value
+            for rank in range(1, nprocs):
+                value = value + 1.0
+                states[rank]["acc"] += value
+        return True
 
     def finalize(self, comm, rank: int, state: Dict[str, Any]) -> Iterator:
         return {"rank": rank, "acc": state["acc"]}

@@ -302,3 +302,117 @@ class TestMonteCarloAggregates:
         assert hybrid.metric("faults.sim.app_bytes.mean") == exact.metric(
             "faults.sim.app_bytes.mean"
         )
+
+
+class TestCalibrationCache:
+    """Shared warm-up calibration (simulator.calibration).
+
+    A cached rate model must be a pure fast path: replicas that read it
+    skip the DES warm-up but stay bit-identical on every volume counter
+    and keep the same makespan accuracy -- the per-epoch probes re-verify
+    the model against real iterations regardless of where it came from.
+    """
+
+    def fault_model(self, makespan):
+        from repro.faults.spec import FaultModelSpec
+
+        return FaultModelSpec(
+            distribution="exponential",
+            seed=11,
+            params={"mtbf_s": makespan * 16 * 1.5},
+            horizon_s=makespan,
+            max_failures=2,
+        )
+
+    def test_cached_model_skips_warmup_and_stays_bit_exact(self):
+        from repro.simulator import calibration
+
+        spec = dataclasses.replace(scenario(), execution="hybrid")
+        exact = build(dataclasses.replace(spec, execution="exact")).run()
+        cold_sim = build(spec)
+        cold = cold_sim.run()
+        assert cold_sim.hybrid_stats["calibration_cached"] == 0
+        assert cold_sim.hybrid_calibration is not None
+
+        cache = calibration.CalibrationCache()
+        cache.put(spec.calibration_key(), cold_sim.hybrid_calibration)
+        with calibration.activated(cache):
+            warm_sim = build(spec)
+            warm = warm_sim.run()
+        assert warm_sim.hybrid_stats["calibration_cached"] == 1
+        assert warm_sim.hybrid_stats["warmup_iterations"] == 0
+        assert warm_sim.hybrid_stats["fallback"] == 0
+        # The whole pre-model span is fast-forwarded instead of warmed up.
+        assert warm_sim.hybrid_stats["des_iterations"] < cold_sim.hybrid_stats[
+            "des_iterations"
+        ]
+        assert warm.stats.app_messages == exact.stats.app_messages
+        assert warm.stats.app_bytes == exact.stats.app_bytes
+        assert warm.stats.makespan == pytest.approx(exact.stats.makespan, rel=0.01)
+        # Cold and warm replicas agree with each other far tighter than the
+        # acceptance band: both timelines come from the same model.
+        assert warm.stats.makespan == pytest.approx(cold.stats.makespan, rel=1e-9)
+
+    def test_calibration_key_ignores_failures_but_not_timing_fields(self):
+        base = scenario()
+        assert (
+            dataclasses.replace(base, execution="hybrid").calibration_key()
+            == base.calibration_key()
+        )
+        assert (
+            scenario(FAULT_SCENARIOS["timed"]).calibration_key()
+            == base.calibration_key()
+        )
+        assert scenario(interval=4).calibration_key() != base.calibration_key()
+        assert scenario(iterations=60).calibration_key() != base.calibration_key()
+
+    def test_stale_entry_for_same_key_degrades_to_probe_guard(self):
+        """A cache entry whose shape no longer matches the run is ignored."""
+        from repro.simulator import calibration
+
+        spec = dataclasses.replace(scenario(), execution="hybrid")
+        cache = calibration.CalibrationCache()
+        cache.put(spec.calibration_key(), {"model": {"bogus": 1}, "warmup": 2})
+        with calibration.activated(cache):
+            sim = build(spec)
+            result = sim.run()
+        assert result.status == "completed"
+        assert sim.hybrid_stats["calibration_cached"] == 0
+        assert sim.hybrid_stats["warmup_iterations"] > 0
+
+    def test_montecarlo_prewarm_writes_sidecar_and_keeps_byte_identity(self, tmp_path):
+        from repro.campaign.store import ResultsStore
+        from repro.faults.montecarlo import run_montecarlo
+
+        base = scenario()
+        makespan = build(base).run().stats.makespan
+        spec = dataclasses.replace(base, fault_model=self.fault_model(makespan))
+        serial_store = ResultsStore(str(tmp_path / "serial.json"))
+        parallel_store = ResultsStore(str(tmp_path / "parallel.json"))
+        serial = run_montecarlo(spec, replicas=6, workers=1, store=serial_store)
+        parallel = run_montecarlo(spec, replicas=6, workers=3, store=parallel_store)
+        assert (tmp_path / "serial.calibration.json").exists()
+        assert (tmp_path / "parallel.calibration.json").exists()
+        assert (tmp_path / "serial.json").read_bytes() == (
+            tmp_path / "parallel.json"
+        ).read_bytes()
+        # Every replica read the pre-warmed entry; none re-ran the warm-up,
+        # and the aggregate surfaces that as a queryable faults.* metric.
+        assert serial.metric("faults.sim.hybrid.calibration_cached.mean") == 1.0
+        assert serial.metric("faults.sim.hybrid.warmup_iterations.mean") == 0.0
+        assert serial.metric("faults.sim.hybrid.fallback.mean") == 0.0
+        assert parallel.metric("faults.sim.hybrid.calibration_cached.mean") == 1.0
+
+    def test_concurrent_cache_saves_merge_entries(self, tmp_path):
+        from repro.simulator.calibration import CalibrationCache
+
+        path = str(tmp_path / "calibration.json")
+        a = CalibrationCache(path)
+        b = CalibrationCache(path)
+        a.put("key-a", {"model": {}, "warmup": 3})
+        b.put("key-b", {"model": {}, "warmup": 4})
+        a.save()
+        b.save()
+        merged = CalibrationCache(path)
+        assert merged.get("key-a") == {"model": {}, "warmup": 3}
+        assert merged.get("key-b") == {"model": {}, "warmup": 4}

@@ -294,3 +294,60 @@ class TestScheduleMany:
         engine = SimulationEngine()
         engine.schedule_many([(0.1, lambda: None, ()) for _ in range(7)])
         assert engine.pending_events == 7
+
+
+class TestCompiledCoreSelection:
+    """The engine facade (simulator.engine) and its build selector."""
+
+    def test_facade_exports_a_consistent_build(self):
+        from repro.simulator import engine
+
+        assert isinstance(engine.COMPILED_CORE, bool)
+        if engine.COMPILED_CORE:
+            assert engine.SimulationEngine.__module__.endswith(
+                "_engine_core_compiled"
+            )
+        else:
+            assert engine.SimulationEngine.__module__.endswith("_engine_core")
+
+    def test_repro_compiled_0_forces_the_pure_python_core(self):
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ, REPRO_COMPILED="0")
+        env["PYTHONPATH"] = os.pathsep.join(sys.path)
+        out = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "from repro.simulator import engine; "
+                "print(engine.COMPILED_CORE, engine.SimulationEngine.__module__)",
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.split()
+        assert out[0] == "False"
+        assert out[1].endswith("_engine_core")
+
+    def test_both_builds_run_the_same_event_order(self):
+        # The deterministic pin that must hold on either build: scheduling
+        # pattern with ties, cancellations and nested scheduling drains in
+        # one canonical order.
+        engine = SimulationEngine()
+        order = []
+
+        def nested(tag):
+            order.append(tag)
+            if tag == "b":
+                engine.schedule(0.0, order.append, "b-nested")
+
+        engine.schedule(2.0, nested, "c")
+        engine.schedule(1.0, nested, "b")
+        handle = engine.schedule(1.5, nested, "dropped")
+        engine.schedule(1.0, nested, "b-tie")
+        handle.cancel()
+        assert engine.run() == "empty"
+        assert order == ["b", "b-tie", "b-nested", "c"]

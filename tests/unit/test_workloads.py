@@ -161,41 +161,78 @@ class TestOtherWorkloads:
         assert PipelineApplication(nprocs=4).send_deterministic is True
 
 
+#: workload kind -> factory for a small-but-nontrivial instance; every entry
+#: must be ff_bulk_compatible and is held to the bit-identity contract below.
+FF_COVERED_APPS = {
+    "stencil1d": lambda: Stencil1DApplication(nprocs=6, iterations=25, points_per_rank=8),
+    "stencil2d": lambda: Stencil2DApplication(nprocs=12, iterations=25),
+    "ring": lambda: RingApplication(nprocs=5, iterations=25),
+    "pipeline": lambda: PipelineApplication(nprocs=5, iterations=25),
+    "bt": lambda: BTApplication(nprocs=9, iterations=12),
+    "cg": lambda: CGApplication(nprocs=9, iterations=12),
+    "ft": lambda: FTApplication(nprocs=9, iterations=12),
+    "lu": lambda: LUApplication(nprocs=9, iterations=12),
+    "mg": lambda: MGApplication(nprocs=9, iterations=12),
+    "sp": lambda: SPApplication(nprocs=9, iterations=12),
+}
+
+
 class TestFastForwardStates:
     """The bulk fast-forward must be bit-identical to the message path."""
 
-    def test_stencil2d_bulk_advance_matches_full_simulation(self):
+    @pytest.mark.parametrize("kind", sorted(FF_COVERED_APPS))
+    def test_bulk_advance_bit_identical_to_full_simulation(self, kind):
+        # Drive the real message path (full DES, every send/recv exchanged)
+        # and require the analytically advanced states to land on the exact
+        # same floats -- same operations in the same order, no tolerance.
         from repro.simulator.simulation import Simulation
 
-        nprocs, iterations = 12, 30
-        app = Stencil2DApplication(nprocs=nprocs, iterations=iterations)
+        app = FF_COVERED_APPS[kind]()
+        assert app.ff_bulk_compatible is True
+        nprocs = app.nprocs
         sim = Simulation(app, nprocs=nprocs)
         result = sim.run()
         assert result.completed
 
         states = {rank: app.setup(rank, nprocs) for rank in range(nprocs)}
-        assert app.fast_forward_states(states, 0, iterations) is True
+        assert app.fast_forward_states(states, 0, app.iterations) is True
         for rank in range(nprocs):
-            simulated = sim.ranks[rank].result
-            assert states[rank]["value"] == simulated["value"], rank
-            assert states[rank]["halo_sum"] == simulated["halo_sum"], rank
+            assert states[rank] == sim.ranks[rank].app_state, (kind, rank)
 
-    def test_stencil2d_bulk_advance_composes(self):
-        # Advancing 3 then 7 iterations lands on the same floats as 10 at once.
-        app = Stencil2DApplication(nprocs=9, iterations=10)
-        split = {rank: app.setup(rank, 9) for rank in range(9)}
-        whole = {rank: app.setup(rank, 9) for rank in range(9)}
-        assert app.fast_forward_states(split, 0, 3)
-        assert app.fast_forward_states(split, 3, 7)
-        assert app.fast_forward_states(whole, 0, 10)
+    @pytest.mark.parametrize("kind", sorted(FF_COVERED_APPS))
+    def test_bulk_advance_composes(self, kind):
+        # Advancing k then n-k iterations lands on the same floats as n at
+        # once (the hybrid director advances interval-by-interval).
+        app = FF_COVERED_APPS[kind]()
+        nprocs, n = app.nprocs, app.iterations
+        split = {rank: app.setup(rank, nprocs) for rank in range(nprocs)}
+        whole = {rank: app.setup(rank, nprocs) for rank in range(nprocs)}
+        assert app.fast_forward_states(split, 0, n // 3)
+        assert app.fast_forward_states(split, n // 3, n - n // 3)
+        assert app.fast_forward_states(whole, 0, n)
         assert split == whole
 
-    def test_incomplete_state_set_is_refused(self):
-        app = Stencil2DApplication(nprocs=9, iterations=10)
-        states = {rank: app.setup(rank, 9) for rank in range(8)}
+    @pytest.mark.parametrize("kind", sorted(FF_COVERED_APPS))
+    def test_incomplete_state_set_is_refused(self, kind):
+        app = FF_COVERED_APPS[kind]()
+        nprocs = app.nprocs
+        states = {rank: app.setup(rank, nprocs) for rank in range(nprocs - 1)}
         assert app.fast_forward_states(states, 0, 1) is False
 
-    def test_default_workloads_are_not_bulk_compatible(self):
-        assert Stencil2DApplication(nprocs=9).ff_bulk_compatible is True
-        assert RingApplication(nprocs=4).ff_bulk_compatible is False
+    def test_single_rank_bulk_advance(self):
+        for app in (RingApplication(nprocs=1, iterations=4),
+                    PipelineApplication(nprocs=1, iterations=4)):
+            from repro.simulator.simulation import Simulation
+
+            sim = Simulation(app, nprocs=1)
+            assert sim.run().completed
+            states = {0: app.setup(0, 1)}
+            assert app.fast_forward_states(states, 0, app.iterations) is True
+            assert states[0] == sim.ranks[0].app_state
+
+    def test_non_deterministic_workloads_stay_uncovered(self):
+        # Master-worker is not send-deterministic and netpipe's per-iteration
+        # timing varies with message size; neither may claim bulk advance.
         assert MasterWorkerApplication(nprocs=4).ff_bulk_compatible is False
+        assert PingPongApplication(nprocs=2).ff_bulk_compatible is False
+        assert RingApplication(nprocs=4).ff_bulk_compatible is True
