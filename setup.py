@@ -56,6 +56,7 @@ setup(
         "console_scripts": [
             "repro-campaign=repro.campaign.cli:main",
             "repro-experiment=repro.experiments.cli:main",
+            "repro-lint=repro.lint.cli:main",
         ]
     },
     classifiers=[

@@ -41,12 +41,13 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.campaign.runner import run_campaign
 from repro.campaign.store import ResultsStore
 from repro.errors import ReproError
+from repro.fslock import atomic_write_json
 from repro.scenarios.spec import ProtocolSpec, ScenarioSpec, WorkloadSpec, load_specs
 from repro.scenarios.sweep import sweep
 
 
 def _read_specs(path: str) -> List[ScenarioSpec]:
-    with open(path, "r", encoding="utf-8") as fh:
+    with open(path, encoding="utf-8") as fh:
         return list(load_specs(json.load(fh)))
 
 
@@ -132,9 +133,7 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "demo":
         specs = _demo_specs()
-        with open(args.out, "w", encoding="utf-8") as fh:
-            json.dump([s.to_dict() for s in specs], fh, indent=1, sort_keys=True)
-            fh.write("\n")
+        atomic_write_json(args.out, [s.to_dict() for s in specs])
         print(f"wrote {len(specs)} scenarios to {args.out}")
         print(f"run them with: repro-campaign run {args.out} --workers 2")
         return 0

@@ -53,7 +53,9 @@ class ResultsStore:
     # ------------------------------------------------------------------- i/o
     def _read_records(self) -> Dict[str, Dict[str, Any]]:
         """Read and (if needed) migrate the records currently in the file."""
-        with open(self.path, "r", encoding="utf-8") as fh:
+        if self.path is None:  # defensive: callers check before reading
+            raise ValueError("in-memory store has no backing file to read")
+        with open(self.path, encoding="utf-8") as fh:
             data = json.load(fh)
         if not isinstance(data, dict) or "records" not in data:
             raise ValueError(f"{self.path}: not a campaign results store")

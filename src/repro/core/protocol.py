@@ -302,10 +302,10 @@ class HydEEProtocol(ClusteredProtocolBase):
             d_phase = phase_a - phase_b
             d_rpp = {
                 s: rpp_a.get(s, 0) - rpp_b.get(s, 0)
-                for s in set(rpp_a) | set(rpp_b)
+                for s in sorted(set(rpp_a) | set(rpp_b))
             }
             d_log = {}
-            for dest in set(log_a) | set(log_b):
+            for dest in sorted(set(log_a) | set(log_b)):
                 count_a, bytes_a = log_a.get(dest, (0, 0))
                 count_b, bytes_b = log_b.get(dest, (0, 0))
                 d_log[dest] = (count_a - count_b, bytes_a - bytes_b)

@@ -34,6 +34,7 @@ from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.faults.distributions import derive_rng, make_distribution
+from repro.fslock import atomic_write_json
 from repro.faults.spec import FaultModelSpec
 from repro.simulator.failures import FailureEvent, validate_failure_group
 from repro.topology import Topology
@@ -136,13 +137,11 @@ class FailureTrace:
         return cls.from_dict(json.loads(text))
 
     def save(self, path: str) -> None:
-        with open(path, "w", encoding="utf-8") as fh:
-            json.dump(self.to_dict(), fh, indent=1, sort_keys=True)
-            fh.write("\n")
+        atomic_write_json(path, self.to_dict())
 
     @classmethod
     def load(cls, path: str) -> "FailureTrace":
-        with open(path, "r", encoding="utf-8") as fh:
+        with open(path, encoding="utf-8") as fh:
             return cls.from_dict(json.load(fh))
 
     # ------------------------------------------------------------ simulation

@@ -26,7 +26,7 @@ from typing import Any, Iterator
 try:  # POSIX; on platforms without fcntl the merge still runs, unserialised.
     import fcntl
 except ImportError:  # pragma: no cover - non-POSIX fallback
-    fcntl = None
+    fcntl = None  # type: ignore[assignment]
 
 
 @contextmanager

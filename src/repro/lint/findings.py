@@ -1,0 +1,38 @@
+"""Findings: what ``repro-lint`` reports.
+
+A :class:`Finding` is one violation of a determinism contract at one
+``file:line``.  Findings are plain data so the CLI can render them as text
+(``path:line:col: RLxx message``) or JSON (``--format json``, consumed by
+the campaign-service tooling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One determinism-contract violation at ``path:line:col``."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"

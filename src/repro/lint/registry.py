@@ -1,0 +1,62 @@
+"""Rule registry.
+
+Every rule is a subclass of :class:`Rule` decorated with ``@register``.  A
+rule declares its id (``RLxx``), a one-line invariant, and a rationale tying
+the invariant back to reproducibility; ``repro-lint --list-rules`` prints
+exactly these fields, so they double as the user-facing contract table.
+
+Rules run in two passes:
+
+* ``check_module(ctx)`` -- per-file, sees one :class:`ModuleContext`;
+* ``check_project(ctxs)`` -- once per run over all contexts, for
+  cross-module invariants (RL06 metric-namespace collisions).
+
+Either may be a no-op (return an empty list).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Type
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+
+_REGISTRY: Dict[str, "Rule"] = {}
+
+
+class Rule:
+    """Base class for determinism-contract rules."""
+
+    id = "RL00"
+    name = "unnamed"
+    invariant = ""
+    rationale = ""
+
+    def check_module(self, ctx: ModuleContext) -> List[Finding]:
+        return []
+
+    def check_project(self, ctxs: Sequence[ModuleContext]) -> List[Finding]:
+        return []
+
+    def finding(self, ctx: ModuleContext, line: int, col: int, message: str) -> Finding:
+        return Finding(rule=self.id, path=ctx.path, line=line, col=col, message=message)
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    if cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    _REGISTRY[cls.id] = cls()
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Registered rules in id order."""
+    import repro.lint.rules  # noqa: F401  (populates the registry)
+
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    import repro.lint.rules  # noqa: F401
+
+    return _REGISTRY[rule_id]

@@ -1,0 +1,48 @@
+"""Shared AST helpers for the rule modules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.lint.context import ModuleContext
+
+
+def name_chains(ctx: ModuleContext) -> Iterator[Tuple[ast.AST, str]]:
+    """Yield ``(node, resolved_dotted_name)`` for every maximal name chain.
+
+    A chain is maximal when its parent is not a longer attribute chain, so
+    ``numpy.random.seed`` yields once, not three times.
+    """
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.Attribute, ast.Name)):
+            continue
+        parent = ctx.parent(node)
+        if isinstance(parent, ast.Attribute) and parent.value is node:
+            continue
+        resolved = ctx.resolve(node)
+        if resolved is not None:
+            yield node, resolved
+
+
+def chain_root(node: ast.AST) -> Optional[str]:
+    """The leftmost identifier of a ``Name``/``Attribute`` chain."""
+    current = node
+    while isinstance(current, ast.Attribute):
+        current = current.value
+    if isinstance(current, ast.Name):
+        return current.id
+    return None
+
+
+def call_keyword(call: ast.Call, name: str) -> Optional[ast.expr]:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def string_value(node: Optional[ast.expr]) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None

@@ -1,0 +1,98 @@
+"""RL01 -- seeded-RNG contract.
+
+Every random draw in the tree must come from a ``random.Random`` stream
+built by ``faults/distributions.py``'s ``derive_rng`` (SHA-256-keyed by
+scenario hash, trial index, and purpose label).  Module-level ``random.*``
+functions draw from interpreter-global state that any import can perturb;
+``random.seed`` mutates that state for everyone; ``numpy.random`` adds a
+second, platform-sensitive global stream.  Any of these silently breaks
+replayable failure traces and the serial-vs-parallel byte-identity pin.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lint.config import RNG_FACTORY_MODULES
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+from repro.lint.rules.common import chain_root, name_chains
+
+#: Mutate interpreter-global RNG state: banned everywhere, no exemption.
+_GLOBAL_MUTATORS = frozenset(
+    {
+        "random.seed",
+        "random.setstate",
+        "numpy.random.seed",
+        "numpy.random.set_state",
+    }
+)
+
+#: RNG constructors: allowed only inside the derive_rng factory module.
+_FACTORY_ONLY = frozenset(
+    {
+        "random.Random",
+        "random.SystemRandom",
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "numpy.random.RandomState",
+    }
+)
+
+
+@register
+class SeededRngRule(Rule):
+    id = "RL01"
+    name = "seeded-rng-contract"
+    invariant = (
+        "RNG streams come from faults.distributions.derive_rng only; no "
+        "module-level random.* / numpy.random usage, no global seeding"
+    )
+    rationale = (
+        "global RNG state is shared across the interpreter, so any stray "
+        "draw or re-seed desynchronises replayed failure traces and breaks "
+        "serial-vs-parallel byte identity"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> List[Finding]:
+        findings: List[Finding] = []
+        in_factory = ctx.module in RNG_FACTORY_MODULES
+        for node, resolved in name_chains(ctx):
+            root = chain_root(node)
+            if root not in ctx.imports:
+                continue  # not an import-backed chain (e.g. a local `rng`)
+            if resolved in _GLOBAL_MUTATORS:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"`{resolved}` mutates interpreter-global RNG state; "
+                        "derive a keyed stream via "
+                        "faults.distributions.derive_rng instead",
+                    )
+                )
+            elif resolved in _FACTORY_ONLY:
+                if not in_factory:
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node.lineno,
+                            node.col_offset,
+                            f"`{resolved}` constructed outside the RNG factory "
+                            "module; use faults.distributions.derive_rng so the "
+                            "stream is SHA-256-keyed and replayable",
+                        )
+                    )
+            elif resolved.startswith("random.") or resolved.startswith("numpy.random."):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"`{resolved}` draws from the module-level global RNG; "
+                        "use a derive_rng stream instead",
+                    )
+                )
+        return findings

@@ -1,0 +1,117 @@
+"""RL02 -- wall-clock and other nondeterminism sources.
+
+Simulated time is the only clock the reproduction is allowed to read:
+``time.time`` / ``datetime.now`` / ``uuid`` / ``os.urandom`` all vary run
+to run, so any value derived from them that reaches a record, trace, hash
+or metric breaks byte identity.  ``id()`` is flagged only where its result
+flows into hashes or rendered output (identity *comparison* via sets is a
+legitimate, run-local use).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+from repro.lint.rules.common import chain_root, name_chains
+
+_BANNED = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "os.urandom",
+        "os.getrandom",
+    }
+)
+
+_BANNED_PREFIXES = ("uuid.", "secrets.")
+
+#: consumers that turn ``id()`` into persistent/rendered output
+_ID_SINKS = frozenset({"hash", "str", "repr", "hex", "format"})
+
+
+@register
+class WallClockRule(Rule):
+    id = "RL02"
+    name = "wall-clock-sources"
+    invariant = (
+        "no wall-clock reads (time.time, datetime.now, ...), uuid/secrets/"
+        "os.urandom, or id() flowing into hashes or output inside src/repro"
+    )
+    rationale = (
+        "values that differ run to run poison every downstream record, "
+        "trace and spec hash; simulated time is the only permitted clock"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node, resolved in name_chains(ctx):
+            root = chain_root(node)
+            if root not in ctx.imports:
+                continue
+            if resolved in _BANNED or resolved.startswith(_BANNED_PREFIXES):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"`{resolved}` is a per-run nondeterminism source; "
+                        "derive the value from the scenario spec or simulated "
+                        "clock instead",
+                    )
+                )
+        findings.extend(self._id_sinks(ctx))
+        return findings
+
+    def _id_sinks(self, ctx: ModuleContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "id"
+                and "id" not in ctx.imports
+            ):
+                continue
+            parent = ctx.parent(node)
+            flagged = False
+            if isinstance(parent, ast.FormattedValue):
+                flagged = True
+            elif isinstance(parent, ast.Call):
+                fn = parent.func
+                if isinstance(fn, ast.Name) and fn.id in _ID_SINKS:
+                    flagged = True
+                elif isinstance(fn, ast.Attribute) and fn.attr in (
+                    "update",
+                    "hexdigest",
+                    "format",
+                    "write",
+                ):
+                    flagged = True
+            elif isinstance(parent, ast.BinOp):
+                flagged = True  # string building / arithmetic on addresses
+            if flagged:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        "id() is an allocator address and varies run to run; "
+                        "never feed it into hashes, strings, or records "
+                        "(identity comparison via sets is fine)",
+                    )
+                )
+        return findings

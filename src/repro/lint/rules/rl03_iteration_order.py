@@ -1,0 +1,183 @@
+"""RL03 -- iteration-order hazards.
+
+Python ``set`` iteration order depends on insertion history and hash
+randomisation of the values' types; iterating a set into anything ordered
+(a list, a loop that accumulates floats, a trace record) makes the output
+sensitive to that order.  The rule flags iteration over set-typed
+expressions unless the consumer is order-insensitive; the fix is a
+``sorted(...)`` wrapper, which is behaviour-neutral everywhere order did
+not already matter.  ``vars()/globals()/locals()`` views are flagged for
+the same reason.  (Plain dict views are insertion-ordered and exempt.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+#: Consumers for which element order cannot affect the result.  ``sum`` is
+#: deliberately absent: float addition is not associative, so summing a set
+#: in hash order is exactly the bug this rule exists to catch.
+_ORDER_FREE_CONSUMERS = frozenset(
+    {"sorted", "min", "max", "any", "all", "len", "set", "frozenset", "bool"}
+)
+
+#: Calls whose result is an ordered sequence fed by iteration order.
+_ORDERED_CONSUMERS = frozenset({"list", "tuple", "iter", "enumerate", "sum"})
+
+_SET_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+
+
+def _set_names_by_scope(tree: ast.AST) -> List[ast.AST]:
+    """Scope nodes (module + each function) in the tree."""
+    scopes = [tree]
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            scopes.append(node)
+    return scopes
+
+
+class _ScopeChecker:
+    """Checks one lexical scope, tracking names assigned set-typed values."""
+
+    def __init__(self, known: Set[str]) -> None:
+        self.known = known
+
+    def is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.known
+        if isinstance(node, ast.Call):
+            fn = node.func
+            if isinstance(fn, ast.Name) and fn.id in ("set", "frozenset"):
+                return True
+            if isinstance(fn, ast.Attribute) and fn.attr in _SET_METHODS:
+                return self.is_set_expr(fn.value)
+            if isinstance(fn, ast.Name) and fn.id in ("vars", "globals", "locals"):
+                return False  # handled by the dynamic-namespace check
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+        ):
+            return self.is_set_expr(node.left) or self.is_set_expr(node.right)
+        return False
+
+
+def _is_dynamic_namespace_view(node: ast.AST) -> bool:
+    """``vars(x).values()`` / ``globals().items()`` style expressions."""
+    if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+        return False
+    if node.func.attr not in ("values", "keys", "items"):
+        return False
+    inner = node.func.value
+    return (
+        isinstance(inner, ast.Call)
+        and isinstance(inner.func, ast.Name)
+        and inner.func.id in ("vars", "globals", "locals")
+    )
+
+
+@register
+class IterationOrderRule(Rule):
+    id = "RL03"
+    name = "iteration-order-hazards"
+    invariant = (
+        "no iteration over set-typed expressions (or vars()/globals() views) "
+        "into ordered consumers without sorted()"
+    )
+    rationale = (
+        "set order follows insertion history and value hashing, so an "
+        "unsorted traversal leaks run-dependent order into records, traces "
+        "and float accumulations; sorted() restores a canonical order"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> List[Finding]:
+        findings: List[Finding] = []
+        # Pre-pass: names assigned set-typed values, grouped by the lexical
+        # scope (module or enclosing function) the assignment lives in.
+        scope_known = {id(scope): set() for scope in _set_names_by_scope(ctx.tree)}
+
+        def enclosing_scope(node: ast.AST) -> int:
+            current = ctx.parent(node)
+            while current is not None and id(current) not in scope_known:
+                current = ctx.parent(current)
+            return id(current) if current is not None else id(ctx.tree)
+
+        assigns = [
+            n
+            for n in ast.walk(ctx.tree)
+            if isinstance(n, (ast.Assign, ast.AnnAssign)) and n.value is not None
+        ]
+        for assign in sorted(assigns, key=lambda n: n.lineno):
+            known = scope_known[enclosing_scope(assign)]
+            if not _ScopeChecker(known).is_set_expr(assign.value):
+                continue
+            targets = (
+                assign.targets if isinstance(assign, ast.Assign) else [assign.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    known.add(target.id)
+
+        def checker_for(node: ast.AST) -> _ScopeChecker:
+            return _ScopeChecker(scope_known[enclosing_scope(node)])
+
+        def flag(node: ast.AST, what: str) -> None:
+            findings.append(
+                self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"{what}; wrap in sorted() to pin a canonical order",
+                )
+            )
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.For):
+                chk = checker_for(node)
+                if chk.is_set_expr(node.iter):
+                    flag(node.iter, "for-loop iterates a set-typed expression")
+                elif _is_dynamic_namespace_view(node.iter):
+                    flag(node.iter, "for-loop iterates a dynamic-namespace view")
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+                # ``sorted(x for x in some_set)`` is the canonical fix, not a
+                # violation: skip comprehensions fed to order-free consumers.
+                parent = ctx.parent(node)
+                if (
+                    isinstance(parent, ast.Call)
+                    and isinstance(parent.func, ast.Name)
+                    and parent.func.id in _ORDER_FREE_CONSUMERS
+                ):
+                    continue
+                chk = checker_for(node)
+                for gen in node.generators:
+                    if chk.is_set_expr(gen.iter):
+                        flag(gen.iter, "comprehension iterates a set-typed expression")
+                    elif _is_dynamic_namespace_view(gen.iter):
+                        flag(gen.iter, "comprehension iterates a dynamic-namespace view")
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                if node.func.id in _ORDERED_CONSUMERS:
+                    chk = checker_for(node)
+                    for arg in node.args:
+                        if chk.is_set_expr(arg):
+                            flag(
+                                arg,
+                                f"{node.func.id}() materialises a set-typed "
+                                "expression in hash order",
+                            )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "join"
+            ):
+                chk = checker_for(node)
+                for arg in node.args:
+                    if chk.is_set_expr(arg):
+                        flag(arg, "str.join() consumes a set-typed expression")
+        return findings

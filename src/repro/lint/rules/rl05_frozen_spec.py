@@ -1,0 +1,157 @@
+"""RL05 -- frozen-spec shape.
+
+``*Spec`` classes are the hashed experiment identity: ``spec_hash`` feeds
+store layout, RNG derivation and the pinned-hash regression file.  Two
+shape bugs silently corrupt that identity: a mutable spec (field mutated
+after hashing), and a constructor field missing from a hand-written
+``to_dict``/``from_dict`` pair (the field survives in memory but drops out
+of the hash and the store round-trip).  The rule requires every ``*Spec``
+class to be a ``@dataclass(frozen=True)`` and every declared field to be
+covered by the serialisation pair.  ``dataclasses.asdict``-based
+``to_dict`` and ``cls(**data)``-style ``from_dict`` are complete by
+construction and pass automatically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+
+def _dataclass_frozen(ctx: ModuleContext, cls: ast.ClassDef) -> Optional[bool]:
+    """None if not a dataclass; else whether frozen=True."""
+    for dec in cls.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        resolved = ctx.resolve(target)
+        if resolved in ("dataclasses.dataclass", "dataclass"):
+            if not isinstance(dec, ast.Call):
+                return False
+            for kw in dec.keywords:
+                if kw.arg == "frozen":
+                    return (
+                        isinstance(kw.value, ast.Constant) and kw.value.value is True
+                    )
+            return False
+    return None
+
+
+def _field_names(cls: ast.ClassDef) -> List[str]:
+    names = []
+    for stmt in cls.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            if "ClassVar" in ast.dump(stmt.annotation):
+                continue  # class-level constant, not a dataclass field
+            names.append(stmt.target.id)
+    return [n for n in names if not n.startswith("_")]
+
+
+def _method(cls: ast.ClassDef, name: str) -> Optional[ast.FunctionDef]:
+    for stmt in cls.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == name:
+            return stmt
+    return None
+
+
+def _uses_asdict(ctx: ModuleContext, fn: ast.FunctionDef) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call):
+            resolved = ctx.resolve(node.func)
+            if resolved in ("dataclasses.asdict", "asdict"):
+                return True
+    return False
+
+
+def _uses_star_kwargs(fn: ast.FunctionDef) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call):
+            for kw in node.keywords:
+                if kw.arg is None:  # **mapping
+                    return True
+    return False
+
+
+def _mentioned_names(fn: ast.FunctionDef) -> Set[str]:
+    """Field names a hand-written serialiser can reference: string literals
+    (dict keys / ``data["x"]``) and keyword-argument names (``cls(x=...)``)."""
+    names: Set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            names.add(node.value)
+        elif isinstance(node, ast.Call):
+            for kw in node.keywords:
+                if kw.arg is not None:
+                    names.add(kw.arg)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+    return names
+
+
+@register
+class FrozenSpecRule(Rule):
+    id = "RL05"
+    name = "frozen-spec-shape"
+    invariant = (
+        "*Spec classes are frozen dataclasses and every field appears in "
+        "their to_dict/from_dict pair"
+    )
+    rationale = (
+        "specs are the hashed experiment identity; a mutable spec or a "
+        "field missing from serialisation drifts the spec hash without any "
+        "visible failure"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef) or not node.name.endswith("Spec"):
+                continue
+            frozen = _dataclass_frozen(ctx, node)
+            if frozen is None:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"class {node.name} ends in 'Spec' but is not a "
+                        "@dataclass(frozen=True)",
+                    )
+                )
+                continue
+            if not frozen:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"spec class {node.name} must be declared "
+                        "@dataclass(frozen=True); mutable specs drift their "
+                        "hash after construction",
+                    )
+                )
+            fields = _field_names(node)
+            for method_name in ("to_dict", "from_dict"):
+                fn = _method(node, method_name)
+                if fn is None:
+                    continue  # serialised via an enclosing spec's asdict
+                if method_name == "to_dict" and _uses_asdict(ctx, fn):
+                    continue
+                if method_name == "from_dict" and _uses_star_kwargs(fn):
+                    continue
+                mentioned = _mentioned_names(fn)
+                for field in fields:
+                    if field not in mentioned:
+                        findings.append(
+                            self.finding(
+                                ctx,
+                                fn.lineno,
+                                fn.col_offset,
+                                f"{node.name}.{method_name} does not mention "
+                                f"field '{field}'; the field would silently "
+                                "drop out of the spec hash / round-trip",
+                            )
+                        )
+        return findings

@@ -1,0 +1,107 @@
+"""RL07 -- compiled-subset guard.
+
+``simulator/_engine_core.py`` ships as an optional mypyc-compiled
+extension (``REPRO_MYPYC=1`` builds, the engine facade auto-selects it).
+mypyc compiles only a static subset of Python and *silently* falls back to
+slow boxed paths -- or miscompiles -- around dynamic constructs.  This rule
+keeps the module inside the subset: fully annotated defs, no ``**kwargs``,
+no dynamic attribute machinery (``getattr``/``setattr``/``__dict__``), no
+``eval``/``exec``/metaclasses, and only the decorator forms mypyc
+understands.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, List, Union
+
+from repro.lint.config import COMPILED_MODULES
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+_BANNED_CALLS = frozenset(
+    {"getattr", "setattr", "delattr", "eval", "exec", "globals", "vars", "compile"}
+)
+
+_ALLOWED_DECORATORS = frozenset({"property", "staticmethod", "classmethod"})
+
+
+@register
+class CompiledSubsetRule(Rule):
+    id = "RL07"
+    name = "compiled-subset-guard"
+    invariant = (
+        "simulator/_engine_core.py stays mypyc-compilable: fully annotated "
+        "defs, no **kwargs, no dynamic attribute tricks"
+    )
+    rationale = (
+        "mypyc miscompiles or deoptimises silently around untyped and "
+        "dynamic constructs; the compiled and interpreted engines must stay "
+        "behaviourally identical"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> List[Finding]:
+        if ctx.module not in COMPILED_MODULES:
+            return []
+        findings: List[Finding] = []
+
+        def flag(node: ast.AST, message: str) -> None:
+            findings.append(
+                self.finding(ctx, node.lineno, node.col_offset, message)
+            )
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_def(ctx, node, flag)
+            elif isinstance(node, ast.ClassDef):
+                for kw in node.keywords:
+                    if kw.arg == "metaclass":
+                        flag(node, f"class {node.name} uses a metaclass")
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                name = node.func.id
+                if name in _BANNED_CALLS and name not in ctx.imports:
+                    flag(
+                        node,
+                        f"dynamic construct {name}() is outside the mypyc "
+                        "subset; use static attribute access",
+                    )
+            elif isinstance(node, ast.Attribute) and node.attr == "__dict__":
+                flag(node, "__dict__ access defeats mypyc's native attribute layout")
+        return findings
+
+    def _check_def(
+        self,
+        ctx: ModuleContext,
+        fn: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+        flag: Callable[[ast.AST, str], None],
+    ) -> None:
+        parent = ctx.parent(fn)
+        is_method = isinstance(parent, ast.ClassDef)
+        is_static = any(
+            isinstance(dec, ast.Name) and dec.id == "staticmethod"
+            for dec in fn.decorator_list
+        )
+        for dec in fn.decorator_list:
+            if isinstance(dec, ast.Name) and dec.id in _ALLOWED_DECORATORS:
+                continue
+            if isinstance(dec, ast.Attribute) and dec.attr in ("setter", "deleter"):
+                continue
+            flag(
+                dec,
+                f"decorator on {fn.name} is outside the mypyc-safe set "
+                "(property/staticmethod/classmethod)",
+            )
+        if fn.args.kwarg is not None:
+            flag(fn, f"{fn.name} takes **{fn.args.kwarg.arg}; mypyc boxes every call")
+        args = list(fn.args.posonlyargs) + list(fn.args.args) + list(fn.args.kwonlyargs)
+        skip_first = is_method and not is_static
+        for idx, arg in enumerate(args):
+            if skip_first and idx == 0:
+                continue  # self / cls
+            if arg.annotation is None:
+                flag(fn, f"{fn.name} argument '{arg.arg}' is unannotated")
+        if fn.args.vararg is not None and fn.args.vararg.annotation is None:
+            flag(fn, f"{fn.name} argument '*{fn.args.vararg.arg}' is unannotated")
+        if fn.returns is None:
+            flag(fn, f"{fn.name} has no return annotation")

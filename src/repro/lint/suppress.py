@@ -1,0 +1,108 @@
+"""Inline suppressions: ``# repro-lint: disable=RL04 -- justification``.
+
+A suppression silences the named rules *on its own line only*, and a
+justification is mandatory: the whole point of the analyzer is that
+determinism contracts live in the code, so every hole must say why it is
+safe.  Malformed suppressions (no justification, unknown syntax) and
+suppressions that silence nothing are themselves reported under the
+``RL00`` hygiene rule -- which is deliberately not suppressible.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+#: Matches the directive inside a comment. Codes are comma-separated rule
+#: ids (or ``all``); everything after ``--`` is the justification.
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<codes>[A-Za-z0-9,\s]*)"
+    r"(?:--\s*(?P<why>.*))?$"
+)
+
+_CODE = re.compile(r"^RL\d\d$")
+
+
+@dataclass
+class Suppression:
+    """One parsed directive on one line."""
+
+    line: int
+    codes: Set[str]
+    justification: str
+    #: rules this suppression actually silenced (filled by the analyzer).
+    used_for: Set[str] = field(default_factory=set)
+
+    def covers(self, rule_id: str) -> bool:
+        return "all" in self.codes or rule_id in self.codes
+
+
+@dataclass
+class SuppressionTable:
+    """All directives of one file, plus their parse problems."""
+
+    by_line: Dict[int, Suppression] = field(default_factory=dict)
+    #: ``(line, message)`` hygiene problems found while parsing.
+    problems: List[str] = field(default_factory=list)
+    problem_lines: List[int] = field(default_factory=list)
+
+    def covers(self, line: int, rule_id: str) -> bool:
+        suppression = self.by_line.get(line)
+        if suppression is None or not suppression.covers(rule_id):
+            return False
+        suppression.used_for.add(rule_id)
+        return True
+
+    def _problem(self, line: int, message: str) -> None:
+        self.problems.append(message)
+        self.problem_lines.append(line)
+
+
+def parse_suppressions(source: str) -> SuppressionTable:
+    table = SuppressionTable()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [t for t in tokens if t.type == tokenize.COMMENT]
+    except tokenize.TokenError:  # pragma: no cover - unterminated source
+        return table
+    for token in comments:
+        text = token.string
+        if "repro-lint" not in text:
+            continue
+        line = token.start[0]
+        match = _DIRECTIVE.search(text)
+        if match is None:
+            table._problem(
+                line,
+                "malformed repro-lint directive (expected "
+                "'# repro-lint: disable=RLxx -- justification')",
+            )
+            continue
+        codes = {c.strip() for c in match.group("codes").split(",") if c.strip()}
+        bad = sorted(c for c in codes if c != "all" and not _CODE.match(c))
+        if not codes or bad:
+            table._problem(
+                line,
+                f"suppression names no valid rule ids ({', '.join(bad) or 'empty'}); "
+                "use disable=RLxx[,RLyy] or disable=all",
+            )
+            continue
+        justification = (match.group("why") or "").strip()
+        if not justification:
+            table._problem(
+                line,
+                "suppression without justification; append '-- why this is safe'",
+            )
+            continue
+        if "RL00" in codes:
+            table._problem(line, "RL00 (suppression hygiene) cannot be suppressed")
+            codes.discard("RL00")
+            if not codes:
+                continue
+        table.by_line[line] = Suppression(
+            line=line, codes=codes, justification=justification
+        )
+    return table

@@ -96,7 +96,7 @@ class ResultSet:
         field never matches.  Values compare with ``==`` (ints and floats
         compare numerically).
         """
-        selected = []
+        selected: List[RunResult] = []
         for run in self._runs:
             if predicate is not None and not predicate(run):
                 continue
@@ -143,9 +143,9 @@ class ResultSet:
             column = str(run.field(columns))
             if column not in entry:
                 entry[column] = run.field(values)
-        out = []
+        out: List[Dict[str, Any]] = []
         for key in sorted(cells, key=lambda k: json.dumps(k, default=str)):
-            row = {index: key}
+            row: Dict[str, Any] = {index: key}
             row.update({c: cells[key][c] for c in sorted(cells[key])})
             out.append(row)
         return out
@@ -204,7 +204,7 @@ class ResultSet:
     # -------------------------------------------------------------- summaries
     def summary_rows(self) -> List[Dict[str, Any]]:
         """Per-run summary rows (the default ``query`` CLI output)."""
-        rows = []
+        rows: List[Dict[str, Any]] = []
         for run in self._runs:
             rows.append(
                 {
@@ -228,7 +228,7 @@ def _matches(actual: Any, expected: Any) -> bool:
     if isinstance(actual, (int, float)) and isinstance(expected, (int, float)) \
             and not isinstance(actual, bool) and not isinstance(expected, bool):
         return float(actual) == float(expected)
-    return actual == expected
+    return bool(actual == expected)
 
 
 def _number(run: RunResult, metric: str) -> Union[int, float]:

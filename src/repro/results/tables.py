@@ -19,7 +19,7 @@ import csv
 import io
 import json
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -104,10 +104,13 @@ class Column:
         return format_value(value)
 
 
-class Row(Mapping):
+class Row(Mapping[str, Any]):
     """One validated table row: mapping *and* attribute access."""
 
     __slots__ = ("_schema", "_values")
+
+    _schema: "TableSchema"
+    _values: Dict[str, Any]
 
     def __init__(self, schema: "TableSchema", values: Dict[str, Any]) -> None:
         object.__setattr__(self, "_schema", schema)
@@ -149,7 +152,7 @@ class TableSchema:
         self.name = name
         self.columns: Tuple[Column, ...] = tuple(columns)
         self.title = title
-        seen = set()
+        seen: Set[str] = set()
         for column in self.columns:
             if column.name in seen:
                 raise ConfigurationError(

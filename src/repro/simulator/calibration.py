@@ -59,7 +59,7 @@ class CalibrationCache:
 
     # ------------------------------------------------------------------- i/o
     def _read_entries(self) -> Dict[str, Dict[str, Any]]:
-        with open(self.path, "r", encoding="utf-8") as fh:
+        with open(self.path, encoding="utf-8") as fh:
             data = json.load(fh)
         if not isinstance(data, dict) or "entries" not in data:
             raise ValueError(f"{self.path}: not a calibration cache")

@@ -24,26 +24,38 @@ silently shadow the maintained implementation.
 
 from __future__ import annotations
 
+import importlib
 import os
+from types import ModuleType
+from typing import Optional
 
-COMPILED_CORE = False
+# Static types come from the pure-Python core: the compiled build is a
+# verbatim copy, so these annotations are exact for either implementation.
+from repro.simulator._engine_core import Condition, EventHandle, SimulationEngine
 
-_core = None
-if os.environ.get("REPRO_COMPILED", "1") != "0":
+COMPILED_CORE: bool = False
+
+
+def _load_compiled() -> Optional[ModuleType]:
+    """The compiled core module, or None when absent/disabled/stale."""
+    if os.environ.get("REPRO_COMPILED", "1") == "0":
+        return None
     try:
-        from repro.simulator import _engine_core_compiled as _core  # type: ignore
+        module = importlib.import_module("repro.simulator._engine_core_compiled")
     except ImportError:
-        _core = None
-    else:
-        if not str(getattr(_core, "__file__", "")).endswith((".so", ".pyd")):
-            _core = None  # a stray source copy, not a compiled extension
-if _core is None:
-    from repro.simulator import _engine_core as _core
-else:
-    COMPILED_CORE = True
+        return None
+    if not str(getattr(module, "__file__", "")).endswith((".so", ".pyd")):
+        return None  # a stray source copy, not a compiled extension
+    return module
 
-Condition = _core.Condition
-EventHandle = _core.EventHandle
-SimulationEngine = _core.SimulationEngine
+
+_compiled = _load_compiled()
+if _compiled is not None:
+    COMPILED_CORE = True
+    # Rebind the exported names to the compiled classes.  mypy keeps the
+    # pure-Python types above (identical source), hence the ignores.
+    Condition = _compiled.Condition  # type: ignore[misc]
+    EventHandle = _compiled.EventHandle  # type: ignore[misc]
+    SimulationEngine = _compiled.SimulationEngine  # type: ignore[misc]
 
 __all__ = ["COMPILED_CORE", "Condition", "EventHandle", "SimulationEngine"]

@@ -1245,13 +1245,13 @@ class HybridDirector:
         }
         glob = tuple(a - b for a, b in zip(after[1], before[1]))
         chan = {}
-        for ch in set(after[2]) | set(before[2]):
+        for ch in sorted(set(after[2]) | set(before[2])):
             count_a, bytes_a = after[2].get(ch, (0, 0))
             count_b, bytes_b = before[2].get(ch, (0, 0))
             chan[ch] = (count_a - count_b, bytes_a - bytes_b)
         delivered = {
             rank: after[3].get(rank, 0) - before[3].get(rank, 0)
-            for rank in set(after[3]) | set(before[3])
+            for rank in sorted(set(after[3]) | set(before[3]))
         }
         return per_rank, glob, chan, delivered
 

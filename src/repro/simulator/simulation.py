@@ -317,7 +317,7 @@ class Simulation:
     def kill_ranks(self, ranks: Iterable[int]) -> None:
         """Fail-stop the given ranks and drop messages involving them."""
         failed = set(ranks)
-        for rank in failed:
+        for rank in sorted(failed):
             proc = self.ranks[rank]
             if proc.done:
                 # A rank can fail *after* finishing (e.g. a failure armed by

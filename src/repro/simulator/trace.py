@@ -238,7 +238,7 @@ def compare_send_sequences(
     all_ranks = set(reference.send_sequences) | set(other.send_sequences)
     if ranks is not None:
         all_ranks &= set(ranks)
-    for rank in all_ranks:
+    for rank in sorted(all_ranks):
         ref_seq = reference.effective_send_sequence(rank)
         oth_seq = other.effective_send_sequence(rank)
         if ref_seq != oth_seq:

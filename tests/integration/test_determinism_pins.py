@@ -130,7 +130,7 @@ def generate_all() -> Dict[str, Any]:
 
 @pytest.fixture(scope="module")
 def pinned() -> Dict[str, Any]:
-    with open(FIXTURE, "r", encoding="utf-8") as fh:
+    with open(FIXTURE, encoding="utf-8") as fh:
         return json.load(fh)
 
 

@@ -35,7 +35,7 @@ def canonical(value):
 
 class TestV1Migration:
     def test_fixture_is_a_version1_store(self):
-        with open(V1_STORE, "r", encoding="utf-8") as fh:
+        with open(V1_STORE, encoding="utf-8") as fh:
             raw = json.load(fh)
         assert raw["version"] == 1
         # v1 simulate records flattened stats with a pstats_ prefix in extra.
@@ -100,7 +100,7 @@ class TestPinnedSpecHashes:
         from repro.experiments.ablation_piggyback import piggyback_spec
         from repro.workloads.nas import NAS_BENCHMARKS
 
-        with open(PINNED_HASHES, "r", encoding="utf-8") as fh:
+        with open(PINNED_HASHES, encoding="utf-8") as fh:
             pinned = json.load(fh)
 
         current = {}
