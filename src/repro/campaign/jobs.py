@@ -44,6 +44,7 @@ ANALYSES: Dict[str, str] = {
     "congestion-recovery": "repro.analysis.congestion:congestion_job",
     "montecarlo": "repro.faults.montecarlo:montecarlo_job",
     "montecarlo-replica": "repro.faults.montecarlo:replica_job",
+    "schedule-explore": "repro.schedexplore.job:schedule_explore_job",
 }
 
 

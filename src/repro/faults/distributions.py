@@ -183,4 +183,5 @@ def make_distribution(kind: str, params: Mapping[str, Any]) -> InterArrivalDistr
             f"unknown inter-arrival distribution {kind!r}; available: "
             f"{', '.join(sorted(DISTRIBUTIONS))}"
         ) from None
-    return factory(dict(params))
+    made: InterArrivalDistribution = factory(dict(params))
+    return made

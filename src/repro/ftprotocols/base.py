@@ -23,7 +23,10 @@ message-logging baseline) is the special case of one cluster per rank.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional, Sequence,
+    Set, Tuple
+)
 
 from repro.errors import ConfigurationError, ProtocolError
 from repro.simulator.engine import Condition
@@ -199,22 +202,33 @@ class ClusteredProtocolBase(ProtocolHooks):
                     "must complete intra-cluster receives before the boundary"
                 )
 
+        # The checkpoint *content* is the consistent cut at the drain point:
+        # capture it now, before the write window, during which inter-cluster
+        # arrivals may still mutate transient protocol state.
+        sends_at = proc.sends_initiated
+        payload = self._checkpoint_payload(rank)
+        size_bytes = self._checkpoint_size(rank, state)
+        cost = self.sim.storage.write_cost(size_bytes)
+        if cost > 0:
+            yield ComputeOp(seconds=cost)
+        # Durability coincides with the *end* of the write, not its start: a
+        # failure striking at the boundary instant therefore always preempts
+        # the wave (the restarted generators never reach this commit), instead
+        # of racing the save events for the recovery line.  The cut itself was
+        # captured above, so the committed state is still the drain-point cut.
         record = self.sim.storage.save(
             rank=rank,
             iteration=iteration,
             app_state=state,
             time=self.sim.engine.now,
-            sends_at_checkpoint=proc.sends_initiated,
-            protocol_state=self._checkpoint_payload(rank),
-            size_bytes=self._checkpoint_size(rank, state),
+            sends_at_checkpoint=sends_at,
+            protocol_state=payload,
+            size_bytes=size_bytes,
         )
         self._latest_checkpoint[rank] = record
         self.pstats.checkpoints += 1
         self.pstats.checkpoint_bytes += record.size_bytes
         self.sim.stats.rank(rank).checkpoints += 1
-        cost = self.sim.storage.write_cost(record.size_bytes)
-        if cost > 0:
-            yield ComputeOp(seconds=cost)
         self._after_checkpoint(rank, record)
         saved = self._ckpt_saved.setdefault(key, set())
         saved.add(rank)
@@ -276,7 +290,8 @@ class ClusteredProtocolBase(ProtocolHooks):
             self._on_cluster_checkpoint_complete(cluster_id, iteration)
 
     def fast_forward_cluster_checkpoint(
-        self, cluster_id: int, iteration: int, states: Dict[int, Any], time_of
+        self, cluster_id: int, iteration: int, states: Dict[int, Any],
+        time_of: Callable[[int], float],
     ) -> None:
         """Coordinated checkpoint of one whole cluster inside a
         fast-forwarded epoch.
@@ -425,6 +440,56 @@ class ClusteredProtocolBase(ProtocolHooks):
             f"{self.name}: unexpected control message {message.kind!r} "
             "(protocol did not install a control handler)"
         )
+
+    # ------------------------------------------------------- schedule explore
+    #: pstats counters that meter *attempted* work, including work later
+    #: rolled back.  When a rollback notification ties with an iteration
+    #: boundary, the tie-break decides how many doomed sends the victim got
+    #: in before rewinding -- so these totals are schedule-dependent by
+    #: nature even though the recovered state is not, and they stay out of
+    #: the interleaving-invariance fingerprint.
+    _WASTED_WORK_COUNTERS = (
+        "logged_messages",
+        "logged_bytes",
+        "determinants_logged",
+        "determinant_bytes",
+        "piggyback_bytes",
+        "gc_reclaimed_bytes",
+        # Recovery-session chatter: how many log entries needed replaying
+        # and how many duplicates receivers swatted depends on how far
+        # doomed work got before the rollback landed.
+        "replayed_messages",
+        "suppressed_orphans",
+    )
+
+    def schedule_fingerprint(self) -> Dict[str, Any]:
+        """Structural counters + recovery-line bookkeeping (interleaving-invariant)."""
+        info = dict(super().schedule_fingerprint())
+        info["pstats"] = {
+            key: value
+            for key, value in self.pstats.as_dict().items()
+            if key not in self._WASTED_WORK_COUNTERS
+        }
+        info["cluster_generations"] = dict(self._cluster_generation)
+        info["latest_checkpoint_iteration"] = {
+            rank: record.iteration for rank, record in self._latest_checkpoint.items()
+        }
+        return info
+
+    def recovery_line_fingerprint(self) -> Dict[str, Any]:
+        """The committed recovery line: checkpoint coordinates per rank, plus
+        the per-cluster line a rollback would actually restore (the largest
+        iteration *every* member has durably checkpointed)."""
+        info = dict(super().recovery_line_fingerprint())
+        info["cluster_generations"] = dict(self._cluster_generation)
+        info["latest_checkpoint_iteration"] = {
+            rank: record.iteration for rank, record in self._latest_checkpoint.items()
+        }
+        info["cluster_lines"] = {
+            cid: self.sim.storage.latest_common_iteration(members)
+            for cid, members in enumerate(self.clusters)
+        }
+        return info
 
     # ------------------------------------------------------------ accounting
     def extra_metrics(self) -> Dict[str, Any]:

@@ -40,7 +40,7 @@ from repro.simulator.protocol_api import SendDecision, add_metric
 class _RankLogState:
     """Per-rank state of the full message-logging protocol."""
 
-    __slots__ = ("send_seq", "recv_seq", "log", "determinants")
+    __slots__ = ("send_seq", "recv_seq", "log", "determinants", "arrived_seq", "stash")
 
     def __init__(self) -> None:
         #: next sequence number per destination channel.
@@ -49,6 +49,14 @@ class _RankLogState:
         self.recv_seq: Dict[int, int] = {}
         self.log = SenderLog()
         self.determinants = 0
+        #: last sequence number *released to the rank* per source channel.
+        #: Tracks arrivals (>= recv_seq, which only advances at match time)
+        #: so a duplicate of an arrived-but-unmatched message is still caught.
+        self.arrived_seq: Dict[int, int] = {}
+        #: early arrivals held back per source until the channel gap fills
+        #: (a replayed predecessor still in flight).  Transient: never
+        #: checkpointed -- on restore the replay covers these seqs afresh.
+        self.stash: Dict[int, Dict[int, Message]] = {}
 
     def snapshot(self) -> Dict[str, Any]:
         return {
@@ -69,6 +77,10 @@ class _RankLogState:
             self.recv_seq = dict(payload["recv_seq"])
             self.log = SenderLog.from_snapshot(payload["log"])
             self.determinants = int(payload["determinants"])
+        # Arrival tracking restarts from the recovery line: everything after
+        # the checkpointed recv_seq is replayed from the senders' logs.
+        self.arrived_seq = dict(self.recv_seq)
+        self.stash = {}
 
 
 class FullMessageLoggingProtocol(ClusteredProtocolBase):
@@ -125,13 +137,44 @@ class FullMessageLoggingProtocol(ClusteredProtocolBase):
         return SendDecision.send(extra_cpu)
 
     # --------------------------------------------------------------- delivery
-    def on_message_arrival(self, rank: int, message: Message) -> bool:
-        """Discard duplicates re-sent by a recovering process."""
+    def on_message_arrival(self, rank: int, message: Message):
+        """Enforce per-channel delivery in sequence order.
+
+        Discards duplicates re-sent by a recovering process, and -- the racy
+        half of recovery -- holds back a message that arrives *ahead* of an
+        undelivered predecessor on its channel.  A replayed message transmits
+        from a protocol event that can tie with the sender's next live send;
+        if the tie-break puts the live send on the wire first, seq ``k+1``
+        arrives before replayed seq ``k``.  FIFO channels are part of the
+        system model (Section II-A), so the receiver restores the order: the
+        early message waits in a stash and is released, together with any
+        consecutive successors, the moment the gap fills.
+        """
         seq = message.piggyback.get("seq")
         if seq is None:
             return True
         state = self.rank_state[rank]
-        return int(seq) > state.recv_seq.get(message.source, 0)
+        source = message.source
+        seq = int(seq)
+        last = state.arrived_seq.get(source, state.recv_seq.get(source, 0))
+        if seq <= last:
+            return False  # duplicate (possibly of an arrived-but-unmatched one)
+        if seq > last + 1:
+            state.stash.setdefault(source, {})[seq] = message
+            return ()  # held back, not suppressed
+        state.arrived_seq[source] = seq
+        pending = state.stash.get(source)
+        if not pending:
+            return True
+        batch = [message]
+        nxt = seq + 1
+        while nxt in pending:
+            batch.append(pending.pop(nxt))
+            state.arrived_seq[source] = nxt
+            nxt += 1
+        if not pending:
+            del state.stash[source]
+        return batch
 
     def on_app_deliver(self, rank: int, message: Message) -> float:
         state = self.rank_state[rank]
@@ -167,7 +210,13 @@ class FullMessageLoggingProtocol(ClusteredProtocolBase):
 
         # Replay, from every sender's log, the messages the restarted ranks
         # had already delivered or that were in flight towards them.  A short
-        # delay models the recovering process requesting its logs.
+        # delay models the recovering process requesting its logs.  Each
+        # (sender -> victim) channel's backlog replays inside a single event:
+        # one transmit loop pins the channel's replay order to log order, so
+        # per-channel FIFO holds no matter how same-time events interleave
+        # (per-entry events would leave the order at the mercy of the
+        # dispatch tie-break -- an out-of-order replay the schedule explorer
+        # catches as a recovery race).
         request_delay = 2 * self.sim.control.latency_s
         for failed_rank in info.ranks:
             restored = self.rank_state[failed_rank]
@@ -176,14 +225,21 @@ class FullMessageLoggingProtocol(ClusteredProtocolBase):
                     continue
                 after = restored.recv_seq.get(sender, 0)
                 entries = sender_state.log.entries_for(failed_rank, after_date=after)
+                if not entries:
+                    continue
                 for entry in entries:
                     self.sim.control.send(
                         failed_rank, sender, "log_request", {"seq": entry.date}, size_bytes=16
                     )
-                    self.sim.engine.schedule(
-                        request_delay, self.sim.replay_message, entry.message
-                    )
                     self.pstats.replayed_messages += 1
+                self.sim.engine.schedule(
+                    request_delay, self._replay_channel, list(entries)
+                )
+
+    def _replay_channel(self, entries) -> None:
+        """Transmit one channel's replay backlog in log (determinant) order."""
+        for entry in entries:
+            self.sim.replay_message(entry.message)
 
     def _dispatch_control(self, cm) -> None:
         # log_request messages only exist for traffic accounting.
@@ -191,6 +247,14 @@ class FullMessageLoggingProtocol(ClusteredProtocolBase):
             raise ProtocolError(f"message-logging: unexpected control message {cm.kind!r}")
 
     # ------------------------------------------------------------ inspection
+    def schedule_fingerprint(self) -> Dict[str, Any]:
+        """Per-channel sequence state and sender logs (interleaving-invariant)."""
+        info = super().schedule_fingerprint()
+        info["rank_state"] = {
+            rank: state.snapshot() for rank, state in self.rank_state.items()
+        }
+        return info
+
     def memory_usage_bytes(self) -> Dict[int, int]:
         return {rank: st.log.current_bytes for rank, st in self.rank_state.items()}
 

@@ -63,14 +63,13 @@ def _hygiene_findings(ctx: ModuleContext, check_unused: bool) -> List[Finding]:
             Finding(rule="RL00", path=ctx.path, line=line, col=0, message=message)
         )
     if check_unused:
-        for line in sorted(table.by_line):
-            suppression = table.by_line[line]
+        for suppression in table.directives:
             if not suppression.used_for:
                 findings.append(
                     Finding(
                         rule="RL00",
                         path=ctx.path,
-                        line=line,
+                        line=suppression.line,
                         col=0,
                         message=(
                             "unused suppression "

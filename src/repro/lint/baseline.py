@@ -1,0 +1,85 @@
+"""Finding baselines: adopt a new rule without rewriting history inline.
+
+A baseline file records the findings present at one point in time, keyed by
+``(path, rule, message)`` with a count per key -- deliberately *not* by line
+number, which drifts with every unrelated edit.  With ``--baseline FILE``
+the CLI subtracts up to the recorded count per key and fails only on
+findings beyond it: new violations, or old ones that multiplied.  A fixed
+finding simply leaves its baseline entry idle (baselines are advisory debt
+records, so idle entries are reported in the summary, not an error --
+regenerate with ``--write-baseline`` after paying debt down).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.findings import Finding
+
+BaselineKey = Tuple[str, str, str]
+
+_VERSION = 1
+
+
+def finding_key(finding: Finding) -> BaselineKey:
+    return (finding.path, finding.rule, finding.message)
+
+
+def to_baseline(findings: Sequence[Finding]) -> Dict[BaselineKey, int]:
+    counts: Dict[BaselineKey, int] = {}
+    for finding in findings:
+        key = finding_key(finding)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def write_baseline(findings: Sequence[Finding], path: str) -> int:
+    """Write the findings as a baseline file; returns the entry count."""
+    counts = to_baseline(findings)
+    payload = {
+        "version": _VERSION,
+        "entries": [
+            {"path": p, "rule": rule, "message": message, "count": count}
+            for (p, rule, message), count in sorted(counts.items())
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return len(counts)
+
+
+def load_baseline(path: str) -> Dict[BaselineKey, int]:
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+        raise ValueError(f"{path}: not a repro-lint baseline (version {_VERSION})")
+    counts: Dict[BaselineKey, int] = {}
+    for entry in payload.get("entries", []):
+        key = (str(entry["path"]), str(entry["rule"]), str(entry["message"]))
+        counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
+    return counts
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Dict[BaselineKey, int]
+) -> Tuple[List[Finding], int, int]:
+    """Subtract baselined findings.
+
+    Returns ``(new_findings, matched, idle)``: findings not covered by the
+    baseline, how many were absorbed by it, and how many baseline slots went
+    unused (debt that has since been paid down).
+    """
+    remaining = dict(baseline)
+    new: List[Finding] = []
+    matched = 0
+    for finding in findings:
+        key = finding_key(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            matched += 1
+        else:
+            new.append(finding)
+    idle = sum(count for count in remaining.values() if count > 0)
+    return new, matched, idle

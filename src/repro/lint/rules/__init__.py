@@ -8,4 +8,6 @@ from repro.lint.rules import (  # noqa: F401
     rl05_frozen_spec,
     rl06_metric_namespace,
     rl07_compiled_subset,
+    rl08_equal_time_ties,
+    rl09_engine_identity,
 )

@@ -3,9 +3,83 @@
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Optional, Tuple
+from typing import Callable, Iterator, List, Optional, Set, Tuple
 
 from repro.lint.context import ModuleContext
+
+_SET_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+
+
+class SetExprChecker:
+    """Checks one lexical scope, tracking names assigned set-typed values."""
+
+    def __init__(self, known: Set[str]) -> None:
+        self.known = known
+
+    def is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.known
+        if isinstance(node, ast.Call):
+            fn = node.func
+            if isinstance(fn, ast.Name) and fn.id in ("set", "frozenset"):
+                return True
+            if isinstance(fn, ast.Attribute) and fn.attr in _SET_METHODS:
+                return self.is_set_expr(fn.value)
+            if isinstance(fn, ast.Name) and fn.id in ("vars", "globals", "locals"):
+                return False  # handled by the dynamic-namespace check
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+        ):
+            return self.is_set_expr(node.left) or self.is_set_expr(node.right)
+        return False
+
+
+def _scope_nodes(tree: ast.AST) -> List[ast.AST]:
+    """Scope nodes (module + each function) in the tree."""
+    scopes = [tree]
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            scopes.append(node)
+    return scopes
+
+
+def set_checker_for(ctx: ModuleContext) -> Callable[[ast.AST], SetExprChecker]:
+    """Build a per-node lookup of the scope-local :class:`SetExprChecker`.
+
+    Runs the assignment pre-pass once (names assigned set-typed values,
+    grouped by the lexical scope the assignment lives in) and returns a
+    function mapping any node to the checker of its enclosing scope.
+    """
+    scope_known = {id(scope): set() for scope in _scope_nodes(ctx.tree)}
+
+    def enclosing_scope(node: ast.AST) -> int:
+        current = ctx.parent(node)
+        while current is not None and id(current) not in scope_known:
+            current = ctx.parent(current)
+        return id(current) if current is not None else id(ctx.tree)
+
+    assigns = [
+        n
+        for n in ast.walk(ctx.tree)
+        if isinstance(n, (ast.Assign, ast.AnnAssign)) and n.value is not None
+    ]
+    for assign in sorted(assigns, key=lambda n: n.lineno):
+        known = scope_known[enclosing_scope(assign)]
+        if not SetExprChecker(known).is_set_expr(assign.value):
+            continue
+        targets = assign.targets if isinstance(assign, ast.Assign) else [assign.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                known.add(target.id)
+
+    def checker(node: ast.AST) -> SetExprChecker:
+        return SetExprChecker(scope_known[enclosing_scope(node)])
+
+    return checker
 
 
 def name_chains(ctx: ModuleContext) -> Iterator[Tuple[ast.AST, str]]:

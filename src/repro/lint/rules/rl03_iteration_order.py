@@ -13,11 +13,12 @@ the same reason.  (Plain dict views are insertion-ordered and exempt.)
 from __future__ import annotations
 
 import ast
-from typing import List, Set
+from typing import List
 
 from repro.lint.context import ModuleContext
 from repro.lint.findings import Finding
 from repro.lint.registry import Rule, register
+from repro.lint.rules.common import set_checker_for
 
 #: Consumers for which element order cannot affect the result.  ``sum`` is
 #: deliberately absent: float addition is not associative, so summing a set
@@ -28,45 +29,6 @@ _ORDER_FREE_CONSUMERS = frozenset(
 
 #: Calls whose result is an ordered sequence fed by iteration order.
 _ORDERED_CONSUMERS = frozenset({"list", "tuple", "iter", "enumerate", "sum"})
-
-_SET_METHODS = frozenset(
-    {"union", "intersection", "difference", "symmetric_difference", "copy"}
-)
-
-
-def _set_names_by_scope(tree: ast.AST) -> List[ast.AST]:
-    """Scope nodes (module + each function) in the tree."""
-    scopes = [tree]
-    for node in ast.walk(tree):
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
-            scopes.append(node)
-    return scopes
-
-
-class _ScopeChecker:
-    """Checks one lexical scope, tracking names assigned set-typed values."""
-
-    def __init__(self, known: Set[str]) -> None:
-        self.known = known
-
-    def is_set_expr(self, node: ast.AST) -> bool:
-        if isinstance(node, (ast.Set, ast.SetComp)):
-            return True
-        if isinstance(node, ast.Name):
-            return node.id in self.known
-        if isinstance(node, ast.Call):
-            fn = node.func
-            if isinstance(fn, ast.Name) and fn.id in ("set", "frozenset"):
-                return True
-            if isinstance(fn, ast.Attribute) and fn.attr in _SET_METHODS:
-                return self.is_set_expr(fn.value)
-            if isinstance(fn, ast.Name) and fn.id in ("vars", "globals", "locals"):
-                return False  # handled by the dynamic-namespace check
-        if isinstance(node, ast.BinOp) and isinstance(
-            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
-        ):
-            return self.is_set_expr(node.left) or self.is_set_expr(node.right)
-        return False
 
 
 def _is_dynamic_namespace_view(node: ast.AST) -> bool:
@@ -99,34 +61,7 @@ class IterationOrderRule(Rule):
 
     def check_module(self, ctx: ModuleContext) -> List[Finding]:
         findings: List[Finding] = []
-        # Pre-pass: names assigned set-typed values, grouped by the lexical
-        # scope (module or enclosing function) the assignment lives in.
-        scope_known = {id(scope): set() for scope in _set_names_by_scope(ctx.tree)}
-
-        def enclosing_scope(node: ast.AST) -> int:
-            current = ctx.parent(node)
-            while current is not None and id(current) not in scope_known:
-                current = ctx.parent(current)
-            return id(current) if current is not None else id(ctx.tree)
-
-        assigns = [
-            n
-            for n in ast.walk(ctx.tree)
-            if isinstance(n, (ast.Assign, ast.AnnAssign)) and n.value is not None
-        ]
-        for assign in sorted(assigns, key=lambda n: n.lineno):
-            known = scope_known[enclosing_scope(assign)]
-            if not _ScopeChecker(known).is_set_expr(assign.value):
-                continue
-            targets = (
-                assign.targets if isinstance(assign, ast.Assign) else [assign.target]
-            )
-            for target in targets:
-                if isinstance(target, ast.Name):
-                    known.add(target.id)
-
-        def checker_for(node: ast.AST) -> _ScopeChecker:
-            return _ScopeChecker(scope_known[enclosing_scope(node)])
+        checker_for = set_checker_for(ctx)
 
         def flag(node: ast.AST, what: str) -> None:
             findings.append(

@@ -1,0 +1,159 @@
+"""RL09 -- engine identity leaking into persisted state.
+
+The engine stamps every message with a global ``msg_id`` and every queue
+entry with an insertion ``seq``; both meter *dispatch history*, not model
+state.  Two runs that differ only in how same-time events were tie-broken
+assign different ids to identical messages, so any id that reaches durable
+or reported state -- a checkpoint payload, a protocol snapshot, a metric, a
+JSON artifact -- makes the run schedule-dependent even when the physics is
+not.  ``id(obj)`` is worse still: a fresh address every process.
+
+Flagged sources: ``.msg_id`` attribute reads, engine-internal ``_seq`` /
+``_drain_idx`` names and ``entry[_SEQ]``-style subscripts, and ``id(...)``
+calls.  Flagged sinks:
+
+* ``add_metric(info, "name", value)`` value expressions;
+* ``<metrics>.set("name", value)`` value expressions;
+* ``<stats>.extra[...] = value`` assignments;
+* anywhere inside ``_checkpoint_payload`` / ``snapshot`` /
+  ``schedule_fingerprint`` / ``recovery_line_fingerprint`` bodies (these
+  return persisted or fingerprinted state wholesale);
+* ``json.dump`` / ``json.dumps`` payload arguments.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+_IDENTITY_ATTRS = frozenset({"msg_id", "_seq", "_drain_idx"})
+_IDENTITY_NAMES = frozenset({"_seq", "_drain_idx"})
+_IDENTITY_INDEX_NAMES = frozenset({"_SEQ", "_DRAIN_IDX"})
+_PERSISTED_FUNCS = frozenset(
+    {
+        "_checkpoint_payload",
+        "snapshot",
+        "schedule_fingerprint",
+        "recovery_line_fingerprint",
+    }
+)
+
+
+def _identity_source(node: ast.AST) -> Optional[str]:
+    """A human-readable description of the engine identity read, or None."""
+    if isinstance(node, ast.Attribute) and node.attr in _IDENTITY_ATTRS:
+        return f".{node.attr}"
+    if isinstance(node, ast.Name) and node.id in _IDENTITY_NAMES:
+        return node.id
+    if isinstance(node, ast.Subscript):
+        index = node.slice
+        if isinstance(index, ast.Name) and index.id in _IDENTITY_INDEX_NAMES:
+            return f"[{index.id}]"
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "id"
+        and len(node.args) == 1
+    ):
+        return "id()"
+    return None
+
+
+def _find_identity_reads(expr: ast.AST) -> List[ast.AST]:
+    return [node for node in ast.walk(expr) if _identity_source(node) is not None]
+
+
+def _is_metric_set_call(node: ast.Call) -> bool:
+    return (
+        isinstance(node.func, ast.Attribute)
+        and node.func.attr == "set"
+        and len(node.args) >= 2
+        and isinstance(node.args[0], ast.Constant)
+        and isinstance(node.args[0].value, str)
+    )
+
+
+def _is_extra_subscript(target: ast.AST) -> bool:
+    """``X.extra[...]`` / ``extra[...]`` assignment targets."""
+    if not isinstance(target, ast.Subscript):
+        return False
+    base = target.value
+    if isinstance(base, ast.Attribute) and base.attr == "extra":
+        return True
+    return isinstance(base, ast.Name) and base.id == "extra"
+
+
+@register
+class EngineIdentityRule(Rule):
+    id = "RL09"
+    name = "engine-identity-leak"
+    invariant = (
+        "no engine identity (msg_id, queue seq, id()) in checkpoint "
+        "payloads, protocol snapshots/fingerprints, metrics or JSON output"
+    )
+    rationale = (
+        "ids meter dispatch history, not model state: a tie-break that "
+        "reorders same-time events renumbers identical messages, so a "
+        "persisted id makes byte-identical replay impossible even when "
+        "every physical observable matches"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> List[Finding]:
+        findings: List[Finding] = []
+
+        def flag(read: ast.AST, sink: str) -> None:
+            findings.append(
+                self.finding(
+                    ctx,
+                    read.lineno,
+                    read.col_offset,
+                    f"engine identity {_identity_source(read)} reaches {sink}; "
+                    "persist model state (endpoints, tags, sequence numbers "
+                    "the protocol assigns) instead",
+                )
+            )
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id == "add_metric"
+                    and len(node.args) >= 3
+                ):
+                    for value in node.args[2:]:
+                        for read in _find_identity_reads(value):
+                            flag(read, "an add_metric() value")
+                elif _is_metric_set_call(node):
+                    for value in node.args[1:]:
+                        for read in _find_identity_reads(value):
+                            flag(read, "a metric value")
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("dump", "dumps")
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "json"
+                    and node.args
+                ):
+                    for read in _find_identity_reads(node.args[0]):
+                        flag(read, "a json.dump payload")
+            elif isinstance(node, ast.Assign):
+                if any(_is_extra_subscript(t) for t in node.targets):
+                    for read in _find_identity_reads(node.value):
+                        flag(read, "a stats.extra[...] entry")
+            elif isinstance(node, ast.AugAssign):
+                if _is_extra_subscript(node.target):
+                    for read in _find_identity_reads(node.value):
+                        flag(read, "a stats.extra[...] entry")
+            elif (
+                isinstance(node, ast.FunctionDef)
+                and node.name in _PERSISTED_FUNCS
+            ):
+                for stmt in node.body:
+                    for read in ast.walk(stmt):
+                        if _identity_source(read) is not None:
+                            flag(read, f"persisted state ({node.name}())")
+        return findings

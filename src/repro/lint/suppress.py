@@ -1,11 +1,15 @@
 """Inline suppressions: ``# repro-lint: disable=RL04 -- justification``.
 
-A suppression silences the named rules *on its own line only*, and a
-justification is mandatory: the whole point of the analyzer is that
+A suppression silences the named rules *on its own logical statement only*,
+and a justification is mandatory: the whole point of the analyzer is that
 determinism contracts live in the code, so every hole must say why it is
-safe.  Malformed suppressions (no justification, unknown syntax) and
-suppressions that silence nothing are themselves reported under the
-``RL00`` hygiene rule -- which is deliberately not suppressible.
+safe.  Findings anchor at the statement's first physical line while a
+trailing directive sits on its last, so coverage is computed per logical
+line (tokenize NEWLINE spans), not per physical line; a directive on a
+comment-only line still covers just that line.  Malformed suppressions (no
+justification, unknown syntax) and suppressions that silence nothing are
+themselves reported under the ``RL00`` hygiene rule -- which is
+deliberately not suppressible.
 """
 
 from __future__ import annotations
@@ -14,7 +18,7 @@ import io
 import re
 import tokenize
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import Dict, List, Set, Tuple
 
 #: Matches the directive inside a comment. Codes are comma-separated rule
 #: ids (or ``all``); everything after ``--`` is the justification.
@@ -45,6 +49,9 @@ class SuppressionTable:
     """All directives of one file, plus their parse problems."""
 
     by_line: Dict[int, Suppression] = field(default_factory=dict)
+    #: every parsed directive, in file order (by_line maps several physical
+    #: lines of one multi-line statement to the same object).
+    directives: List[Suppression] = field(default_factory=list)
     #: ``(line, message)`` hygiene problems found while parsing.
     problems: List[str] = field(default_factory=list)
     problem_lines: List[int] = field(default_factory=list)
@@ -61,10 +68,36 @@ class SuppressionTable:
         self.problem_lines.append(line)
 
 
+def _logical_spans(tokens: List[tokenize.TokenInfo]) -> List[Tuple[int, int]]:
+    """(first, last) physical-line spans of each logical statement.
+
+    Comment-only and blank lines belong to no span; a comment *inside* a
+    bracketed multi-line statement falls within that statement's span.
+    """
+    spans: List[Tuple[int, int]] = []
+    start = None
+    for token in tokens:
+        if token.type == tokenize.NEWLINE:
+            if start is not None:
+                spans.append((start, token.end[0]))
+                start = None
+        elif token.type not in (
+            tokenize.COMMENT,
+            tokenize.NL,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENCODING,
+            tokenize.ENDMARKER,
+        ):
+            if start is None:
+                start = token.start[0]
+    return spans
+
+
 def parse_suppressions(source: str) -> SuppressionTable:
     table = SuppressionTable()
     try:
-        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
         comments = [t for t in tokens if t.type == tokenize.COMMENT]
     except tokenize.TokenError:  # pragma: no cover - unterminated source
         return table
@@ -102,7 +135,20 @@ def parse_suppressions(source: str) -> SuppressionTable:
             codes.discard("RL00")
             if not codes:
                 continue
-        table.by_line[line] = Suppression(
+        suppression = Suppression(
             line=line, codes=codes, justification=justification
         )
+        table.by_line[line] = suppression
+        table.directives.append(suppression)
+    # Widen each directive to its logical statement: findings anchor at a
+    # multi-line statement's first line, the trailing directive sits on its
+    # last.  setdefault keeps the exact-line directive authoritative when
+    # spans touch.
+    spans = _logical_spans(tokens)
+    for suppression in table.directives:
+        for first, last in spans:
+            if first <= suppression.line <= last:
+                for covered in range(first, last + 1):
+                    table.by_line.setdefault(covered, suppression)
+                break
     return table

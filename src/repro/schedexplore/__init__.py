@@ -1,0 +1,72 @@
+"""Schedule-space race detection.
+
+The simulator is deterministic by construction: equal-time events dispatch
+in insertion order.  But the *model* does not constrain that order -- it is
+an artefact -- so any observable behaviour that depends on it is a race the
+determinism story papers over.  This package explores that schedule space:
+seeded policies reorder equal-time event groups
+(:mod:`~repro.schedexplore.policies`), canonical fingerprints pin the state
+at every checkpoint boundary (:mod:`~repro.schedexplore.fingerprint`), the
+explorer compares interleavings against the FIFO baseline
+(:mod:`~repro.schedexplore.explorer`) and packages any divergence as a
+minimal, replayable witness (:mod:`~repro.schedexplore.witness`).
+
+Run it as a campaign job (``{"analysis": "schedule-explore"}``,
+:mod:`~repro.schedexplore.job`) or from the command line::
+
+    PYTHONPATH=src python -m repro.schedexplore explore --pinned all --seeds 3
+"""
+
+from repro.schedexplore.explorer import (
+    ExplorationReport,
+    InterleavingRun,
+    explore,
+    explore_factory,
+    first_divergence,
+    replay_witness,
+    run_interleaving,
+)
+from repro.schedexplore.fingerprint import (
+    FingerprintRecorder,
+    fingerprint_state,
+    fingerprint_value,
+    normalized_trace_digest,
+    stable_digest,
+    state_digest,
+)
+from repro.schedexplore.policies import (
+    POLICIES,
+    AdversarialPolicy,
+    FifoPolicy,
+    RandomPolicy,
+    ReplayPolicy,
+    SchedulePolicy,
+    make_policy,
+)
+from repro.schedexplore.witness import ScheduleWitness, same_divergence, shrink_witness
+
+__all__ = [
+    "AdversarialPolicy",
+    "ExplorationReport",
+    "FifoPolicy",
+    "FingerprintRecorder",
+    "InterleavingRun",
+    "POLICIES",
+    "RandomPolicy",
+    "ReplayPolicy",
+    "SchedulePolicy",
+    "ScheduleWitness",
+    "explore",
+    "explore_factory",
+    "fingerprint_state",
+    "fingerprint_value",
+    "first_divergence",
+    "make_policy",
+    "normalized_trace_digest",
+    "replay_witness",
+    "run_interleaving",
+    "same_divergence",
+    "shrink_witness",
+    "stable_digest",
+    "state_digest",
+]

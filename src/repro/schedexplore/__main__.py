@@ -1,0 +1,6 @@
+"""``python -m repro.schedexplore`` entry point."""
+
+from repro.schedexplore.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

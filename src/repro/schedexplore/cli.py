@@ -1,0 +1,187 @@
+"""Command-line schedule-space explorer: ``python -m repro.schedexplore``.
+
+Subcommands
+-----------
+
+``explore``
+    Run seeded interleavings of pinned scenarios (or a spec file) and report
+    whether every observable is interleaving-invariant.  Exits non-zero on
+    divergence; witnesses can be saved for replay::
+
+        python -m repro.schedexplore explore --pinned all --seeds 3
+        python -m repro.schedexplore explore --spec scenario.json \\
+            --policy random --seeds 10 --witness-dir witnesses/
+
+``replay WITNESS``
+    Re-run a saved witness and check that it reproduces the same first
+    divergence it recorded (exits non-zero when it does not)::
+
+        python -m repro.schedexplore replay witnesses/stencil.witness.json
+
+``list``
+    Show the pinned scenarios and available policies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.scenarios.spec import ScenarioSpec, load_specs
+from repro.schedexplore.explorer import ExplorationReport, explore, replay_witness
+from repro.schedexplore.pinned import PINNED_SCENARIOS, available_pinned
+from repro.schedexplore.policies import POLICIES
+from repro.schedexplore.witness import ScheduleWitness
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    try:
+        return _main(argv)
+    except (ReproError, OSError, json.JSONDecodeError) as exc:
+        print(f"repro-schedexplore: error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-schedexplore",
+        description="Explore the simulator's schedule space for races.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    explore_parser = sub.add_parser(
+        "explore", help="run seeded interleavings, check invariance"
+    )
+    explore_parser.add_argument(
+        "--pinned", default=None, metavar="NAME",
+        help=f"pinned scenario to explore, or 'all' ({', '.join(available_pinned())})",
+    )
+    explore_parser.add_argument(
+        "--spec", default=None, metavar="FILE",
+        help="JSON spec file (one scenario spec or a list)",
+    )
+    explore_parser.add_argument("--seeds", type=int, default=5,
+                                help="number of seeded interleavings per scenario")
+    explore_parser.add_argument("--policy", default="adversarial",
+                                choices=sorted(set(POLICIES) - {"fifo"}))
+    explore_parser.add_argument("--no-shrink", action="store_true",
+                                help="report raw witnesses without delta-debugging")
+    explore_parser.add_argument("--witness-dir", default=None, metavar="DIR",
+                                help="save divergence witnesses to this directory")
+    explore_parser.add_argument("--json", action="store_true", dest="as_json",
+                                help="print full reports as JSON")
+
+    replay_parser = sub.add_parser("replay", help="re-run a saved witness")
+    replay_parser.add_argument("witness", help="witness JSON file")
+    replay_parser.add_argument("--json", action="store_true", dest="as_json")
+
+    sub.add_parser("list", help="list pinned scenarios and policies")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _list()
+    if args.command == "replay":
+        return _replay(args)
+    return _explore(args)
+
+
+def _list() -> int:
+    print("pinned scenarios:")
+    for name in available_pinned():
+        print(f"  {name:36s} {PINNED_SCENARIOS[name].describe()}")
+    print("policies:", ", ".join(sorted(POLICIES)))
+    return 0
+
+
+def _gather_specs(args: argparse.Namespace) -> List[ScenarioSpec]:
+    if (args.pinned is None) == (args.spec is None):
+        raise ReproError("explore needs exactly one of --pinned or --spec")
+    if args.spec is not None:
+        with open(args.spec, encoding="utf-8") as fh:
+            return list(load_specs(json.load(fh)))
+    if args.pinned == "all":
+        return [PINNED_SCENARIOS[name] for name in available_pinned()]
+    if args.pinned not in PINNED_SCENARIOS:
+        raise ReproError(
+            f"unknown pinned scenario {args.pinned!r}; available: "
+            f"{', '.join(available_pinned())} (or 'all')"
+        )
+    return [PINNED_SCENARIOS[args.pinned]]
+
+
+def _explore(args: argparse.Namespace) -> int:
+    specs = _gather_specs(args)
+    divergent = 0
+    reports = {}
+    for spec in specs:
+        report = explore(
+            spec, seeds=args.seeds, policy=args.policy, shrink=not args.no_shrink
+        )
+        reports[spec.name] = report
+        _print_report(spec, report)
+        if not report.invariant:
+            divergent += 1
+            if args.witness_dir:
+                os.makedirs(args.witness_dir, exist_ok=True)
+                for number, witness in enumerate(report.witnesses):
+                    path = os.path.join(
+                        args.witness_dir, f"{spec.name}-{number}.witness.json"
+                    )
+                    witness.save(path)
+                    print(f"  witness saved: {path}")
+    if args.as_json:
+        json.dump(
+            {name: report.to_payload() for name, report in reports.items()},
+            sys.stdout, indent=1, sort_keys=True,
+        )
+        print()
+    print(
+        f"{len(specs)} scenario(s), {divergent} divergent, "
+        f"policy={args.policy}, seeds={args.seeds}"
+    )
+    return 1 if divergent else 0
+
+
+def _print_report(spec: ScenarioSpec, report: ExplorationReport) -> None:
+    payload = report.to_payload()
+    verdict = "INVARIANT" if report.invariant else "DIVERGENT"
+    timing = "state+time" if report.times_compared else "state only"
+    print(
+        f"{spec.name:36s} {verdict:9s} "
+        f"interleavings={payload['interleavings']} "
+        f"boundaries={payload['checkpoint_boundaries']} "
+        f"ties<= {payload['tie_dispatches']['max']} "
+        f"compared={timing}"
+    )
+    for witness in report.witnesses:
+        divergence = witness.divergence
+        print(
+            f"  seed {witness.seed}: {divergence['kind']}"
+            + (f"@{divergence['index']}" if divergence.get("index") is not None else "")
+            + f" after shrink {len(witness.decisions)}/{witness.original_decisions}"
+            " decisions"
+        )
+
+
+def _replay(args: argparse.Namespace) -> int:
+    witness = ScheduleWitness.load(args.witness)
+    outcome = replay_witness(witness)
+    if args.as_json:
+        json.dump(outcome, sys.stdout, indent=1, sort_keys=True)
+        print()
+    else:
+        expected = outcome["expected"]
+        print(
+            f"witness {args.witness}: "
+            + ("reproduced" if outcome["reproduced"] else "NOT reproduced")
+            + f" ({expected['kind']}, {outcome['decisions']} decisions)"
+        )
+    return 0 if outcome["reproduced"] else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,132 @@
+"""Replayable schedule witnesses and greedy delta-debug shrinking.
+
+When an interleaving diverges from the FIFO baseline, the explorer packages
+the policy's recorded decisions -- ``{tie index: engine seq}``, the complete
+description of how that run departed from canonical order -- together with
+the scenario and the observed first divergence into a :class:`
+ScheduleWitness`.  The witness is a plain JSON document: re-running the
+scenario under a :class:`~repro.schedexplore.policies.ReplayPolicy` built
+from its decisions reproduces the divergent schedule deterministically, on
+any machine, serial or inside a worker pool.
+
+A fresh witness from a random policy typically contains hundreds of
+decisions, almost all irrelevant.  :func:`shrink_witness` greedily drops one
+decision at a time (replaying the rest, FIFO at the dropped tie) and keeps
+each drop that preserves the *same first divergence*, iterating to a fixed
+point.  The result is a minimal-ish reorder -- frequently a single swapped
+pair -- that still triggers the bug, which is the artefact a human debugs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+
+@dataclass
+class ScheduleWitness:
+    """A replayable divergent schedule."""
+
+    #: policy that found the divergence (``random``/``adversarial``/...).
+    policy: str
+    #: seed the finding policy ran with.
+    seed: int
+    #: tie index -> engine seq dispatched there (non-FIFO choices only).
+    decisions: Dict[int, int]
+    #: first observed divergence: {"kind", "index"?, "baseline", "observed"}.
+    divergence: Dict[str, Any]
+    #: scenario spec (:meth:`ScenarioSpec.to_dict`), when spec-driven.
+    scenario: Optional[Dict[str, Any]] = None
+    #: decision count of the unshrunk witness (0 = never shrunk).
+    original_decisions: int = 0
+    version: int = 1
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    # ---------------------------------------------------------------- i/o
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": self.version,
+            "policy": self.policy,
+            "seed": self.seed,
+            "decisions": {str(key): value for key, value in sorted(self.decisions.items())},
+            "divergence": self.divergence,
+            "scenario": self.scenario,
+            "original_decisions": self.original_decisions,
+            "metadata": self.metadata,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScheduleWitness":
+        return cls(
+            policy=str(data["policy"]),
+            seed=int(data["seed"]),
+            decisions={int(k): int(v) for k, v in data["decisions"].items()},
+            divergence=dict(data["divergence"]),
+            scenario=data.get("scenario"),
+            original_decisions=int(data.get("original_decisions", 0)),
+            version=int(data.get("version", 1)),
+            metadata=dict(data.get("metadata", {})),
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "ScheduleWitness":
+        with open(os.fspath(path), encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+
+def same_divergence(a: Optional[Dict[str, Any]], b: Optional[Dict[str, Any]]) -> bool:
+    """Whether two divergence records describe the same first divergence.
+
+    Matching is by kind and position (boundary index), not by the observed
+    hash: a shrunk schedule may corrupt state *differently* at the same
+    dispatch point, and that still witnesses the same race.
+    """
+    if a is None or b is None:
+        return False
+    return a.get("kind") == b.get("kind") and a.get("index") == b.get("index")
+
+
+def shrink_witness(
+    witness: ScheduleWitness,
+    diverges: Callable[[Dict[int, int]], Optional[Dict[str, Any]]],
+    max_rounds: int = 4,
+) -> ScheduleWitness:
+    """Greedy delta-debug: drop decisions whose removal keeps the divergence.
+
+    ``diverges(decisions)`` re-runs the scenario under a replay of
+    ``decisions`` and returns the first-divergence record, or ``None`` when
+    the run matches the baseline.  One round tries dropping each decision in
+    turn (highest tie index first: late reorders are usually consequences,
+    not causes); rounds repeat until a fixed point or ``max_rounds``.  The
+    returned witness's divergence is re-verified against the final decision
+    set, so replaying the shrunk witness reproduces exactly what it claims.
+    """
+    reference = witness.divergence
+    current = dict(witness.decisions)
+    for _ in range(max_rounds):
+        dropped_any = False
+        for key in sorted(current, reverse=True):
+            trial = {k: v for k, v in current.items() if k != key}
+            observed = diverges(trial)
+            if observed is not None and same_divergence(observed, reference):
+                current = trial
+                reference = observed
+                dropped_any = True
+        if not dropped_any:
+            break
+    return ScheduleWitness(
+        policy=witness.policy,
+        seed=witness.seed,
+        decisions=current,
+        divergence=reference,
+        scenario=witness.scenario,
+        original_decisions=witness.original_decisions or len(witness.decisions),
+        metadata=dict(witness.metadata),
+    )

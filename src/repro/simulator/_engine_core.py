@@ -50,6 +50,20 @@ rejected with :class:`~repro.errors.SimulationError` at scheduling time.
 
 The ``state`` slot of an entry is ``_PENDING`` (may run), ``_EXECUTED``
 (popped and run) or ``_CANCELLED`` (skipped when reached; lazily compacted).
+
+Schedule policies
+-----------------
+The ``(time, seq)`` order makes every run reproducible, but the ``seq``
+tie-break is an *arbitrary* choice among events the model itself leaves
+unconstrained: events scheduled at exactly the same simulation time have no
+causal order, and a correct (send-deterministic) protocol must produce the
+same outcome whichever way the tie is broken.  :meth:`SimulationEngine.
+set_schedule_policy` installs a *chooser* that picks which member of each
+equal-time group executes next (see :mod:`repro.schedexplore`), turning the
+engine into an interleaving explorer.  The policy path is a separate loop --
+the production hot path below is untouched when no policy is installed --
+and the default chooser order (always index 0) reproduces the ``(time,
+seq)`` order bit for bit.
 """
 
 from __future__ import annotations
@@ -121,6 +135,14 @@ class SimulationEngine:
         self._live: int = 0
         #: cancelled events still sitting in the queue tiers.
         self._cancelled: int = 0
+        #: equal-time tie-break chooser (None = deterministic ``seq`` order);
+        #: receives ``(time, group)`` and returns the index of the entry to
+        #: execute next.  Installed by :meth:`set_schedule_policy`.
+        self._policy: Optional[Callable[[float, List[List[Any]]], int]] = None
+        #: observer invoked (policy path only) once every event at a given
+        #: time has executed, right before the clock moves on -- the hook
+        #: point state fingerprinting uses (:mod:`repro.schedexplore`).
+        self._on_time_drained: Optional[Callable[[float], None]] = None
 
     # ------------------------------------------------------------------ time
     @property
@@ -251,6 +273,169 @@ class SimulationEngine:
             )
         self._now = time
 
+    # ------------------------------------------------------- schedule policy
+    def set_schedule_policy(
+        self,
+        chooser: Optional[Callable[[float, List[List[Any]]], int]],
+        on_time_drained: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        """Install (or clear, with ``None``) an equal-time tie-break policy.
+
+        ``chooser(time, group)`` is called whenever more than one live event
+        is admissible at the same simulation time; ``group`` is the list of
+        raw queue entries (``[time, seq, callback, args, state]``) in
+        canonical ``seq`` order and the chooser returns the index of the
+        entry to execute next.  Events scheduled *during* the group at the
+        same time join the group (they are admissible at that time too), so
+        a policy explores exactly the orders the model leaves unconstrained;
+        events at different times never reorder.
+
+        ``on_time_drained(time)`` is invoked after the last event at each
+        executed timestamp, before the clock moves on -- a quiescent point
+        at which observers may *read* simulation state.  The hook must not
+        schedule or cancel events.
+
+        Policies only apply to :meth:`run`; :meth:`step` keeps the
+        deterministic ``(time, seq)`` order.  Installing a policy mid-run is
+        rejected: a half-explored group would corrupt the dispatch order.
+        """
+        if self._running:
+            raise SimulationError("cannot change the schedule policy while running")
+        self._policy = chooser
+        self._on_time_drained = on_time_drained
+
+    def _pop_time_group(self, time: float) -> List[List[Any]]:
+        """Pop every live entry scheduled exactly at ``time``, in seq order.
+
+        Every drain entry precedes every heap entry in ``seq`` (the drain is
+        an older generation), and each tier yields ascending ``seq`` for a
+        fixed time, so the concatenation is the canonical FIFO order.
+        """
+        group: List[List[Any]] = []
+        drain = self._drain
+        idx = self._drain_idx
+        while idx < len(drain):
+            entry = drain[idx]
+            if entry[_TIME] != time:
+                break
+            idx += 1
+            if entry[_STATE]:
+                self._cancelled -= 1
+            else:
+                group.append(entry)
+        self._drain_idx = idx
+        heap = self._heap
+        while heap and heap[0][_TIME] == time:
+            entry = heappop(heap)
+            if entry[_STATE]:
+                self._cancelled -= 1
+            else:
+                group.append(entry)
+        return group
+
+    def _absorb_into_group(self, time: float, group: List[List[Any]]) -> None:
+        """Move newly scheduled live entries at ``time`` into ``group``."""
+        heap = self._heap
+        while heap and heap[0][_TIME] == time:
+            entry = heappop(heap)
+            if entry[_STATE]:
+                self._cancelled -= 1
+            else:
+                group.append(entry)
+
+    def _prune_group(self, group: List[List[Any]]) -> List[List[Any]]:
+        """Drop group members cancelled by a callback since they were popped.
+
+        Popped entries live outside the queue tiers, so a compaction
+        triggered meanwhile may already have reset the cancelled counter --
+        hence the clamp at zero.
+        """
+        live: List[List[Any]] = []
+        for entry in group:
+            if entry[_STATE]:
+                if self._cancelled > 0:
+                    self._cancelled -= 1
+            else:
+                live.append(entry)
+        return live
+
+    def _requeue_group(self, group: List[List[Any]]) -> None:
+        """Return unexecuted group members to the heap (bounded stop paths).
+
+        Entries keep their original ``seq``, so re-popping them later
+        reproduces the canonical order exactly.
+        """
+        for entry in group:
+            if not entry[_STATE]:
+                heappush(self._heap, entry)
+
+    def _run_policy(
+        self,
+        until_time: Optional[float],
+        max_events: Optional[int],
+        stop_predicate: Optional[Callable[[], bool]],
+    ) -> str:
+        """The :meth:`run` loop under an installed schedule policy.
+
+        Identical contract to the default loops (stop predicate before every
+        event, same bound semantics); the only degree of freedom is which
+        member of each equal-time group executes next.  With the FIFO
+        chooser (always index 0) the event order is bit-identical to the
+        policy-free loops.
+        """
+        chooser = self._policy
+        if chooser is None:  # pragma: no cover - guarded by run()
+            raise SimulationError("policy loop entered without a policy")
+        on_drained = self._on_time_drained
+        processed = 0
+        executed_any = False
+        while True:
+            if stop_predicate is not None and stop_predicate():
+                return "stopped"
+            if max_events is not None and processed >= max_events:
+                return "max_events"
+            next_time = self._peek_time()
+            if next_time is None:
+                if executed_any and on_drained is not None:
+                    on_drained(self._now)
+                return "empty"
+            if until_time is not None and next_time > until_time:
+                if executed_any and on_drained is not None:
+                    on_drained(self._now)
+                self._now = until_time
+                return "until_time"
+            if executed_any and next_time > self._now and on_drained is not None:
+                on_drained(self._now)
+            group = self._pop_time_group(next_time)
+            while group:
+                if stop_predicate is not None and stop_predicate():
+                    self._requeue_group(group)
+                    return "stopped"
+                if max_events is not None and processed >= max_events:
+                    self._requeue_group(group)
+                    return "max_events"
+                group = self._prune_group(group)
+                if not group:
+                    break
+                choice = 0 if len(group) == 1 else chooser(next_time, group)
+                if not 0 <= choice < len(group):
+                    raise SimulationError(
+                        f"schedule policy chose index {choice} out of a "
+                        f"group of {len(group)} events"
+                    )
+                entry = group.pop(choice)
+                entry[_STATE] = _EXECUTED
+                self._live -= 1
+                self._now = entry[_TIME]
+                self._events_processed += 1
+                executed_any = True
+                processed += 1
+                entry[_CALLBACK](*entry[_ARGS])
+                # Events the callback scheduled at this same time are
+                # admissible now and join the group (with higher seq, so
+                # FIFO order is preserved for the default chooser).
+                self._absorb_into_group(next_time, group)
+
     # ------------------------------------------------------------ queue core
     def _next_event(self) -> Optional[List[Any]]:
         """Pop the earliest live entry across both tiers (None when empty).
@@ -335,6 +520,8 @@ class SimulationEngine:
         """
         self._running = True
         try:
+            if self._policy is not None:
+                return self._run_policy(until_time, max_events, stop_predicate)
             if until_time is None and max_events is None:
                 # Hot path: no time/count bound (with or without a stop
                 # predicate).  The queue tiers live in locals; ``_drain_idx``

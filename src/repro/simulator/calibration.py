@@ -59,6 +59,7 @@ class CalibrationCache:
 
     # ------------------------------------------------------------------- i/o
     def _read_entries(self) -> Dict[str, Dict[str, Any]]:
+        assert self.path is not None  # callers check before reading
         with open(self.path, encoding="utf-8") as fh:
             data = json.load(fh)
         if not isinstance(data, dict) or "entries" not in data:

@@ -45,7 +45,7 @@ def _block_size(comm, value: Any, size_bytes: Optional[int]) -> int:
     return _default_size(value)
 
 
-def barrier(comm):
+def barrier(comm: Any) -> Any:
     """Dissemination barrier."""
     size = comm.size
     if size == 1:

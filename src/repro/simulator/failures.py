@@ -168,6 +168,7 @@ class FailureInjector:
         """Called by the rank driver after each completed iteration."""
         if self._sim is None:
             return
+        armed = []
         for event in self.events:
             if (
                 not event.fired
@@ -175,40 +176,52 @@ class FailureInjector:
                 and event.rank_trigger == rank
                 and iteration >= event.at_iteration
             ):
-                # Fire "now" (schedule with zero delay so the failing rank has
-                # fully returned from its iteration first).
                 self.armed_fires += 1
-                self._sim.engine.schedule(0.0, self._fire_armed, event)
                 event.fired = True
+                armed.append(event)
+        if armed:
+            # Fire "now" (zero delay so the failing rank has fully returned
+            # from its iteration first) -- as ONE event striking in spec
+            # order, not one event per strike: same-time events dispatch in
+            # insertion order only, and several strikes armed by one boundary
+            # must not leave their relative order to that tie-break.
+            self._sim.engine.schedule(0.0, self._fire_armed_batch, armed)
 
     # ------------------------------------------------------------------ firing
     def _recovery_active(self) -> bool:
         return self._sim is not None and self._sim.protocol.recovery_in_progress()
 
-    def _defer(self, callback, event: FailureEvent) -> None:
-        self.deferred_fires += 1
-        event.deferrals += 1
-        if event.deferrals > self.MAX_EVENT_DEFERRALS:
-            # A recovery session that never winds down is a protocol bug;
-            # without this guard the retry event would keep the queue
-            # non-empty forever and mask what should be a deadlock report.
-            # (Per event, not run-wide: a dense-but-legal trace may rack up
-            # many deferrals in total across many strikes.)
-            raise SimulationError(
-                f"one failure strike deferred more than "
-                f"{self.MAX_EVENT_DEFERRALS} times: the protocol reports "
-                "recovery_in_progress() indefinitely"
-            )
-        self._sim.engine.schedule(self.RETRY_DELAY_S, callback, event)
+    def _defer_batch(self, events) -> None:
+        for event in events:
+            self.deferred_fires += 1
+            event.deferrals += 1
+            if event.deferrals > self.MAX_EVENT_DEFERRALS:
+                # A recovery session that never winds down is a protocol bug;
+                # without this guard the retry event would keep the queue
+                # non-empty forever and mask what should be a deadlock report.
+                # (Per event, not run-wide: a dense-but-legal trace may rack
+                # up many deferrals in total across many strikes.)
+                raise SimulationError(
+                    f"one failure strike deferred more than "
+                    f"{self.MAX_EVENT_DEFERRALS} times: the protocol reports "
+                    "recovery_in_progress() indefinitely"
+                )
+        self._sim.engine.schedule(self.RETRY_DELAY_S, self._fire_armed_batch, list(events))
 
-    def _fire_armed(self, event: FailureEvent) -> None:
-        if self._recovery_active():
-            # Stay armed (the completion predicate keeps waiting) and try
-            # again once the ongoing recovery session has wound down.
-            self._defer(self._fire_armed, event)
-            return
-        self.armed_fires -= 1
-        self._fire(event)
+    def _fire_armed_batch(self, events) -> None:
+        """Land armed strikes in spec order; re-defer the remainder together.
+
+        A strike that opens a recovery session defers every strike behind it
+        in the batch (the completion predicate keeps waiting for them), so
+        the relative order of simultaneous strikes is the deterministic spec
+        order, never an engine tie-break.
+        """
+        for index, event in enumerate(events):
+            if self._recovery_active():
+                self._defer_batch(events[index:])
+                return
+            self.armed_fires -= 1
+            self._fire(event)
 
     def _fire(self, event: FailureEvent) -> None:
         if self._sim is None:
@@ -227,7 +240,7 @@ class FailureInjector:
             # contract as an iteration-triggered strike armed by a rank's
             # last iteration).
             self.armed_fires += 1
-            self._defer(self._fire_armed, event)
+            self._defer_batch([event])
             return
         event.fired = True
         # "Alive" is the rank's *current* state, not failure history: a rank
@@ -267,6 +280,7 @@ class FailureInjector:
         sim = self._sim
         if sim is None:
             return
+        refire = []
         for event in self.events:
             if event.fired or event.at_iteration is None:
                 continue
@@ -290,7 +304,12 @@ class FailureInjector:
                 # the armed path so completion still waits for the strike).
                 event.fired = True
                 self.armed_fires += 1
-                sim.engine.schedule(0.0, self._fire_armed, event)
+                refire.append(event)
+        if refire:
+            # One batched event for every re-triggered strike (see
+            # on_iteration_completed: simultaneous strikes land in spec
+            # order, not engine insertion order).
+            sim.engine.schedule(0.0, self._fire_armed_batch, refire)
 
     # ------------------------------------------------------------- lookahead
     def next_timed_failure_time(self) -> Optional[float]:

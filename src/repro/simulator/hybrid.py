@@ -49,7 +49,20 @@ from __future__ import annotations
 import math
 from collections import deque
 from statistics import median
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Generator,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.errors import InvalidOperationError, SimulationError
 from repro.ftprotocols.base import ClusteredProtocolBase
@@ -60,10 +73,15 @@ from repro.simulator.engine import Condition
 from repro.simulator.messages import ANY_SOURCE, ANY_TAG, Message, MessageKind
 from repro.simulator.process import RankState
 from repro.simulator.protocol_api import ProtocolHooks, SendAction
-from repro.simulator.requests import Request, SendRequest
+from repro.simulator.requests import RecvRequest, Request, SendRequest
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulator.process import RankProcess
     from repro.simulator.simulation import Simulation, SimulationResult
+
+#: Return type of the fast-forward communicator's blocking calls: they are
+#: generators yielding :data:`_FF_WAIT` until their request completes.
+_FFGen = Generator[Any, Any, Any]
 
 
 class _FFWait:
@@ -104,7 +122,7 @@ class IterationGate:
         #: were rolled back after parking.
         self.parked: Dict[int, Tuple[int, float, int, Any]] = {}
 
-    def park(self, proc, iteration: int, state: Any) -> None:
+    def park(self, proc: "RankProcess", iteration: int, state: Any) -> None:
         self.parked[proc.rank] = (
             proc.incarnation, proc.sim.engine.now, iteration, state
         )
@@ -127,7 +145,8 @@ class FastForwardCommunicator:
     error -- such applications must be declared ``ff_compatible = False``.
     """
 
-    def __init__(self, sim, rank_process, director: "HybridDirector") -> None:
+    def __init__(self, sim: "Simulation", rank_process: "RankProcess",
+                 director: "HybridDirector") -> None:
         self._sim = sim
         self._proc = rank_process
         self._director = director
@@ -149,12 +168,12 @@ class FastForwardCommunicator:
 
     # ------------------------------------------------------- blocking p2p
     def send(self, dest: int, payload: Any = None, tag: int = 0,
-             size_bytes: Optional[int] = None):
+             size_bytes: Optional[int] = None) -> _FFGen:
         self.isend(dest, payload, tag=tag, size_bytes=size_bytes)
         return None
         yield  # pragma: no cover - marks this function as a generator
 
-    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> _FFGen:
         request = self.irecv(source=source, tag=tag)
         while not request.complete:
             yield _FF_WAIT
@@ -169,7 +188,7 @@ class FastForwardCommunicator:
         tag: int = 0,
         recv_tag: Optional[int] = None,
         size_bytes: Optional[int] = None,
-    ):
+    ) -> _FFGen:
         recv_tag = tag if recv_tag is None else recv_tag
         rreq = self.irecv(source=source, tag=recv_tag)
         sreq = self.isend(dest, payload, tag=tag, size_bytes=size_bytes)
@@ -188,7 +207,7 @@ class FastForwardCommunicator:
         size = _default_size(payload) if size_bytes is None else int(size_bytes)
         return self._director.ff_send(self._proc, dest, payload, tag, size)
 
-    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> RecvRequest:
         if source == ANY_SOURCE:
             raise _FFUnsupported("an ANY_SOURCE receive")
         self._check_peer(source)
@@ -198,13 +217,13 @@ class FastForwardCommunicator:
     def test(request: Request) -> bool:
         return request.test()
 
-    def wait(self, request: Request):
+    def wait(self, request: Request) -> _FFGen:
         while not request.complete:
             yield _FF_WAIT
         self._proc._deliver_to_app(request.value)
         return request.value
 
-    def waitall(self, requests: Sequence[Request]):
+    def waitall(self, requests: Sequence[Request]) -> _FFGen:
         if not requests:
             return []
         requests = list(requests)
@@ -217,14 +236,14 @@ class FastForwardCommunicator:
             self._proc._deliver_to_app(value)
         return values
 
-    def waitany(self, requests: Sequence[Request]):
+    def waitany(self, requests: Sequence[Request]) -> _FFGen:
         # Which request completes first is a timing question the fast path
         # cannot answer deterministically.
         raise _FFUnsupported("a waitany call")
         yield  # pragma: no cover
 
     # ------------------------------------------------------------- local ops
-    def compute(self, seconds: float, flops: Optional[float] = None):
+    def compute(self, seconds: float, flops: Optional[float] = None) -> _FFGen:
         if seconds < 0:
             raise InvalidOperationError("compute time must be non-negative")
         if seconds > 0:
@@ -234,15 +253,15 @@ class FastForwardCommunicator:
         return None
         yield  # pragma: no cover
 
-    def wait_condition(self, condition: Condition):
+    def wait_condition(self, condition: Condition) -> _FFGen:
         raise _FFUnsupported("a wait_condition call")
         yield  # pragma: no cover
 
-    def checkpoint(self, label: str = ""):
+    def checkpoint(self, label: str = "") -> _FFGen:
         raise _FFUnsupported("an application-requested checkpoint")
         yield  # pragma: no cover
 
-    def local_event(self, name: str = "local", data: Any = None):
+    def local_event(self, name: str = "local", data: Any = None) -> _FFGen:
         return None
         yield  # pragma: no cover
 
@@ -251,29 +270,34 @@ class FastForwardCommunicator:
         self._collective_seq += 1
         return _collectives.COLLECTIVE_TAG_BASE + self._collective_seq
 
-    def barrier(self):
+    def barrier(self) -> _FFGen:
         return (yield from _collectives.barrier(self))
 
-    def bcast(self, value: Any, root: int = 0, size_bytes: Optional[int] = None):
+    def bcast(self, value: Any, root: int = 0,
+              size_bytes: Optional[int] = None) -> _FFGen:
         return (yield from _collectives.bcast(self, value, root, size_bytes))
 
-    def reduce(self, value: Any, op=None, root: int = 0, size_bytes: Optional[int] = None):
+    def reduce(self, value: Any, op: Any = None, root: int = 0,
+               size_bytes: Optional[int] = None) -> _FFGen:
         return (yield from _collectives.reduce(self, value, op, root, size_bytes))
 
-    def allreduce(self, value: Any, op=None, size_bytes: Optional[int] = None):
+    def allreduce(self, value: Any, op: Any = None,
+                  size_bytes: Optional[int] = None) -> _FFGen:
         return (yield from _collectives.allreduce(self, value, op, size_bytes))
 
-    def gather(self, value: Any, root: int = 0, size_bytes: Optional[int] = None):
+    def gather(self, value: Any, root: int = 0,
+               size_bytes: Optional[int] = None) -> _FFGen:
         return (yield from _collectives.gather(self, value, root, size_bytes))
 
-    def allgather(self, value: Any, size_bytes: Optional[int] = None):
+    def allgather(self, value: Any, size_bytes: Optional[int] = None) -> _FFGen:
         return (yield from _collectives.allgather(self, value, size_bytes))
 
     def scatter(self, values: Optional[Sequence[Any]], root: int = 0,
-                size_bytes: Optional[int] = None):
+                size_bytes: Optional[int] = None) -> _FFGen:
         return (yield from _collectives.scatter(self, values, root, size_bytes))
 
-    def alltoall(self, values: Sequence[Any], size_bytes: Optional[int] = None):
+    def alltoall(self, values: Sequence[Any],
+                 size_bytes: Optional[int] = None) -> _FFGen:
         return (yield from _collectives.alltoall(self, values, size_bytes))
 
     # ------------------------------------------------------------------ misc
@@ -330,6 +354,8 @@ class RateModel:
         #: rank -> per-phase durations (phase of the delta ending at count
         #: ``i`` is ``i % interval``); ``None`` selects the flat model.
         self.phases = phases
+        self._cum: Optional[Dict[int, List[float]]]
+        self._period: Optional[Dict[int, float]]
         if phases is not None:
             k = interval
             self._cum = {}
@@ -389,7 +415,9 @@ class RateModel:
     def _phase_sum(self, rank: int, m: int) -> float:
         """Sum of the phase durations of deltas ``1..m`` (``S(m)``)."""
         k = self.interval
-        return (m // k) * self._period[rank] + self._cum[rank][m % k]
+        cum, period = self._cum, self._period
+        assert cum is not None and period is not None
+        return (m // k) * period[rank] + cum[rank][m % k]
 
     def project(self, rank: int, t0: float, b: int, m: int) -> float:
         """Projected clock of ``rank`` at iteration count ``m``, anchored at
@@ -481,7 +509,7 @@ class HybridDirector:
         #: per-rank projected clocks, valid during a fast-forward epoch.
         self._ff_clock: Dict[int, float] = {}
         self._ff_blocked: Set[int] = set()
-        self._ff_runnable: deque = deque()
+        self._ff_runnable: Deque[int] = deque()
         self._iter_times: Dict[int, Dict[int, float]] = {}
         self.stats: Dict[str, float] = {
             "enabled": 0,
@@ -1020,7 +1048,7 @@ class HybridDirector:
         self._advance_span(b, e, model, anchors)
 
         now = sim.engine.now
-        resumes = {}
+        resumes: Dict[int, float] = {}
         for rank in sorted(anchors):
             resume = model.project(rank, anchors[rank], b, e)
             if resume < now:
@@ -1221,7 +1249,7 @@ class HybridDirector:
 
     def _ff_counters_snapshot(self) -> Tuple[Any, ...]:
         sim = self.sim
-        per_rank = {}
+        per_rank: Dict[int, Tuple[Any, ...]] = {}
         for rank, proc in sim.ranks.items():
             rstats = proc.rstats
             per_rank[rank] = (
@@ -1238,13 +1266,15 @@ class HybridDirector:
         )
 
     @staticmethod
-    def _counter_delta(before: Tuple[Any, ...], after: Tuple[Any, ...]):
+    def _counter_delta(
+        before: Tuple[Any, ...], after: Tuple[Any, ...]
+    ) -> Tuple[Any, Any, Any, Any]:
         per_rank = {
             rank: tuple(a - b for a, b in zip(vals, before[0][rank]))
             for rank, vals in after[0].items()
         }
         glob = tuple(a - b for a, b in zip(after[1], before[1]))
-        chan = {}
+        chan: Dict[Any, Tuple[int, int]] = {}
         for ch in sorted(set(after[2]) | set(before[2])):
             count_a, bytes_a = after[2].get(ch, (0, 0))
             count_b, bytes_b = before[2].get(ch, (0, 0))
@@ -1256,7 +1286,7 @@ class HybridDirector:
         return per_rank, glob, chan, delivered
 
     @staticmethod
-    def _deltas_match(c1, c2) -> bool:
+    def _deltas_match(c1: Any, c2: Any) -> bool:
         """Probe-delta equality: exact for counters, one-ulp-tolerant for the
         accumulated compute-time float."""
         if c1[1:] != c2[1:] or set(c1[0]) != set(c2[0]):
@@ -1270,7 +1300,7 @@ class HybridDirector:
                 return False
         return True
 
-    def _apply_counter_delta(self, delta, n: int) -> None:
+    def _apply_counter_delta(self, delta: Any, n: int) -> None:
         sim = self.sim
         per_rank, glob, chan, delivered = delta
         for rank, (d_sends, d_recv, d_bs, d_br, d_ct, d_si, d_del) in per_rank.items():
@@ -1296,8 +1326,8 @@ class HybridDirector:
                 counts[rank] = counts.get(rank, 0) + n * d_count
 
     def _batch_intervals(self, cur: int, batch_end: int, model: RateModel,
-                         anchors: Dict[int, float], b0: int, deltas,
-                         stride: int = 1) -> int:
+                         anchors: Dict[int, float], b0: int,
+                         deltas: Tuple[Any, Any], stride: int = 1) -> int:
         """Extrapolate verified deltas interval by interval up to
         ``batch_end``, taking each coordinated checkpoint for real.
 
@@ -1338,7 +1368,7 @@ class HybridDirector:
                 control = sim.control
                 control.begin_buffering()
                 try:
-                    def time_of(member, _nxt=nxt):
+                    def time_of(member: int, _nxt: int = nxt) -> float:
                         return model.project(member, anchors[member], b0, _nxt)
                     for cluster in clusters:
                         protocol.fast_forward_cluster_checkpoint(
@@ -1479,7 +1509,7 @@ class HybridDirector:
                     "fast-forward-safe communicator calls are allowed"
                 )
 
-    def _start_iteration(self, rank: int, it: int):
+    def _start_iteration(self, rank: int, it: int) -> Iterator[Any]:
         proc = self.sim.ranks[rank]
         comm = self._ffcomms[rank]
         comm._collective_seq = 0
@@ -1491,7 +1521,7 @@ class HybridDirector:
             self._ff_blocked.discard(rank)
             self._ff_runnable.append(rank)
 
-    def ff_send(self, proc, dest: int, payload: Any, tag: int,
+    def ff_send(self, proc: "RankProcess", dest: int, payload: Any, tag: int,
                 size_bytes: int) -> SendRequest:
         """Synchronous message transmission during a fast-forwarded epoch.
 

@@ -16,7 +16,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+)
 
 from repro.errors import ConfigurationError, ProtocolError
 from repro.results.metrics import MetricSet
@@ -132,11 +134,16 @@ class ProtocolHooks:
     def on_app_deliver(self, rank: int, message: Message) -> None:
         return None
 
-    def on_message_arrival(self, rank: int, message: Message) -> bool:
+    def on_message_arrival(
+        self, rank: int, message: Message
+    ) -> Union[bool, Sequence[Message]]:
         """Called when a message reaches the destination's MPI layer, before
         matching.  Return ``False`` to silently discard it (used by
         message-logging protocols to suppress duplicates re-sent by a
-        recovering process)."""
+        recovering process), ``True`` to deliver it normally, or a sequence
+        of messages to deliver *instead*, in order (used to release messages
+        the protocol held back to restore per-channel FIFO order; an empty
+        sequence means the message was consumed but not suppressed)."""
         return True
 
     def on_iteration_boundary(self, rank: int, iteration: int, state: Any):
@@ -185,6 +192,36 @@ class ProtocolHooks:
 
     def recovery_in_progress(self) -> bool:
         return False
+
+    # ------------------------------------------------------- schedule explore
+    def schedule_fingerprint(self) -> Dict[str, Any]:
+        """Protocol state that must be interleaving-invariant.
+
+        The schedule explorer (:mod:`repro.schedexplore`) hashes this mapping
+        at checkpoint boundaries and at completion while reordering
+        same-timestamp events; for a send-deterministic workload every
+        admissible interleaving must produce identical values.  Values may
+        nest plain containers, dataclasses and :class:`Message` objects --
+        the canonical encoder strips engine-assigned identities (``msg_id``,
+        transport timestamps) that legitimately differ between interleavings.
+        Protocols override this with their durable state (logs, clocks,
+        sequence tables); the default exposes nothing.
+        """
+        return {}
+
+    def recovery_line_fingerprint(self) -> Dict[str, Any]:
+        """The *committed* subset of the schedule fingerprint.
+
+        Hashed at every checkpoint boundary, including boundaries that land
+        mid-recovery -- so it must only expose state that is stable across
+        interleavings even while ranks are mid-rollback: the recovery line
+        itself (which checkpoints exist, per cluster generation), never live
+        rank progress.  Transient state between a race point and
+        reconvergence (how far a doomed iteration got before its rollback
+        arrived) is legitimately schedule-dependent; it is checked by
+        :meth:`schedule_fingerprint` at completion instead.
+        """
+        return {}
 
     # ------------------------------------------------------------ accounting
     def memory_usage_bytes(self) -> Dict[int, int]:

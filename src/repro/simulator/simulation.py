@@ -18,7 +18,9 @@ that protocols need in order to implement rollback-recovery:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+from typing import (
+    TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
+)
 
 from repro.errors import DeadlockError, SimulationError
 from repro.results.metrics import MetricSet
@@ -34,6 +36,9 @@ from repro.simulator.requests import SendRequest
 from repro.simulator.stable_storage import StableStorage, snapshot_strategy_for
 from repro.simulator.statistics import SimulationStatistics
 from repro.simulator.trace import TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulator.hybrid import IterationGate
 
 
 @dataclass
@@ -144,8 +149,8 @@ class Simulation:
         #: :mod:`repro.simulator.hybrid`).  ``iteration_gate`` parks rank
         #: coroutines at an iteration limit, ``_iteration_listener`` feeds the
         #: rate-model calibration, ``hybrid_stats`` surfaces ``sim.hybrid.*``.
-        self.iteration_gate = None
-        self._iteration_listener = None
+        self.iteration_gate: Optional["IterationGate"] = None
+        self._iteration_listener: Optional[Callable[[int, int], None]] = None
         self.hybrid_stats: Optional[Dict[str, Any]] = None
         #: serialisable warm-up calibration of a successful hybrid run
         #: (model + park times); harvested by the campaign pre-warm into the
@@ -278,12 +283,19 @@ class Simulation:
         proc = self.ranks.get(message.dest)
         if proc is None or proc.state is RankState.FAILED:
             return
-        if not self.protocol.on_message_arrival(proc.rank, message):
+        verdict = self.protocol.on_message_arrival(proc.rank, message)
+        if verdict is True:
+            proc.deliver_message(message)
+        elif verdict is False:
             self.stats.extra["suppressed_duplicates"] = (
                 self.stats.extra.get("suppressed_duplicates", 0) + 1
             )
-            return
-        proc.deliver_message(message)
+        else:
+            # Ordered batch: the protocol held messages back to restore
+            # per-channel FIFO order and releases them now (may be empty when
+            # the arriving message itself is being held).
+            for released in verdict:
+                proc.deliver_message(released)
 
     def on_app_delivery(self, proc: RankProcess, message: Message) -> None:
         """Called by the rank process when a message is matched to the app."""

@@ -426,6 +426,164 @@ class TestRL07CompiledSubset:
         assert findings == []
 
 
+# --------------------------------------------------------------------- RL08
+class TestRL08EqualTimeTies:
+    def test_per_element_fanout_at_constant_time_is_flagged(self):
+        src = (
+            "def arm(self, events):\n"
+            "    for event in events:\n"
+            "        self.sim.engine.schedule(0.0, self._fire, event)\n"
+        )
+        findings = lint_one(src, select=["RL08"])
+        assert rules_of(findings) == ["RL08"]
+        assert "tie" in findings[0].message
+
+    def test_loop_invariant_name_time_is_flagged(self):
+        src = (
+            "def arm(self, events, delay):\n"
+            "    for event in events:\n"
+            "        self.engine.schedule(delay, self._fire, event)\n"
+        )
+        findings = lint_one(src, select=["RL08"])
+        assert rules_of(findings) == ["RL08"]
+
+    def test_schedule_at_with_invariant_absolute_time_is_flagged(self):
+        src = (
+            "def arm(self, events, when):\n"
+            "    for event in events:\n"
+            "        self.engine.schedule_at(when, self._fire, event)\n"
+        )
+        findings = lint_one(src, select=["RL08"])
+        assert rules_of(findings) == ["RL08"]
+
+    def test_per_element_time_is_clean(self):
+        src = (
+            "def arm(self, events):\n"
+            "    for index, event in enumerate(events):\n"
+            "        self.engine.schedule(index * 1e-9, self._fire, event)\n"
+        )
+        assert lint_one(src, select=["RL08"]) == []
+
+    def test_computed_time_is_exempt(self):
+        # A call in the time expression may vary per iteration; stay quiet.
+        src = (
+            "def arm(self, events):\n"
+            "    for event in events:\n"
+            "        self.engine.schedule(self.delay_for(event), self._fire, event)\n"
+        )
+        assert lint_one(src, select=["RL08"]) == []
+
+    def test_batched_event_is_clean(self):
+        src = (
+            "def arm(self, events):\n"
+            "    self.sim.engine.schedule(0.0, self._fire_batch, list(events))\n"
+        )
+        assert lint_one(src, select=["RL08"]) == []
+
+    def test_set_iterable_fanout_is_flagged(self):
+        src = (
+            "def arm(self):\n"
+            "    ranks = {1, 2, 3}\n"
+            "    for rank in ranks:\n"
+            "        self.engine.schedule(self.delay_for(rank), self._fire, rank)\n"
+        )
+        findings = lint_one(src, select=["RL08"])
+        assert rules_of(findings) == ["RL08"]
+        assert "hash order" in findings[0].message
+
+    def test_non_engine_schedule_is_ignored(self):
+        src = (
+            "def arm(self, jobs):\n"
+            "    for job in jobs:\n"
+            "        self.campaign.schedule(0.0, run, job)\n"
+        )
+        assert lint_one(src, select=["RL08"]) == []
+
+    def test_inner_loop_owns_the_call(self):
+        # Outer loop variable in the delay: invariant w.r.t. the inner loop.
+        src = (
+            "def arm(self, groups):\n"
+            "    for offset in range(3):\n"
+            "        for event in self.groups[offset]:\n"
+            "            self.engine.schedule(offset * 0.1, self._fire, event)\n"
+        )
+        findings = lint_one(src, select=["RL08"])
+        assert rules_of(findings) == ["RL08"]
+
+    def test_suppression_is_honored(self):
+        src = (
+            "def arm(self, events):\n"
+            "    for event in events:\n"
+            "        self.engine.schedule(0.0, self._fire, event)"
+            "  # repro-lint: disable=RL08 -- order proven irrelevant here\n"
+        )
+        assert lint_one(src, select=["RL08"]) == []
+
+
+# --------------------------------------------------------------------- RL09
+class TestRL09EngineIdentity:
+    def test_msg_id_in_stats_extra_is_flagged(self):
+        src = "def f(self, message):\n    self.stats.extra['last'] = message.msg_id\n"
+        findings = lint_one(src, select=["RL09"])
+        assert rules_of(findings) == ["RL09"]
+        assert ".msg_id" in findings[0].message
+
+    def test_msg_id_in_add_metric_is_flagged(self):
+        src = (
+            "def f(self, info, message):\n"
+            "    add_metric(info, 'last_id', message.msg_id)\n"
+        )
+        findings = lint_one(src, select=["RL09"])
+        assert rules_of(findings) == ["RL09"]
+
+    def test_metric_set_with_identity_is_flagged(self):
+        src = "def f(self, m):\n    self.metrics.set('seq', self._seq)\n"
+        findings = lint_one(src, select=["RL09"])
+        assert rules_of(findings) == ["RL09"]
+
+    def test_id_call_in_json_dump_is_flagged(self):
+        src = (
+            "import json\n"
+            "def f(obj, fh):\n"
+            "    json.dump({'key': id(obj)}, fh)\n"
+        )
+        findings = lint_one(src, select=["RL09"])
+        assert rules_of(findings) == ["RL09"]
+        assert "id()" in findings[0].message
+
+    def test_identity_inside_snapshot_is_flagged(self):
+        src = (
+            "def snapshot(self):\n"
+            "    return {'last': self.last_message.msg_id}\n"
+        )
+        findings = lint_one(src, select=["RL09"])
+        assert rules_of(findings) == ["RL09"]
+        assert "snapshot" in findings[0].message
+
+    def test_transient_msg_id_bookkeeping_is_clean(self):
+        # In-flight tracking keyed by msg_id never persists: legitimate.
+        src = (
+            "def track(self, message):\n"
+            "    self._in_flight[message.msg_id] = message\n"
+        )
+        assert lint_one(src, select=["RL09"]) == []
+
+    def test_protocol_sequence_numbers_are_clean(self):
+        src = (
+            "def snapshot(self):\n"
+            "    return {'send_seq': dict(self.send_seq)}\n"
+        )
+        assert lint_one(src, select=["RL09"]) == []
+
+    def test_suppression_is_honored(self):
+        src = (
+            "def f(self, message):\n"
+            "    self.stats.extra['last'] = message.msg_id"
+            "  # repro-lint: disable=RL09 -- debug-only field, never compared\n"
+        )
+        assert lint_one(src, select=["RL09"]) == []
+
+
 # ------------------------------------------------------------ RL00 hygiene
 class TestSuppressionHygiene:
     def test_unused_suppression_is_reported(self):
@@ -445,12 +603,150 @@ class TestSuppressionHygiene:
         )
         assert rules_of(findings) == ["RL00"]
 
+    def test_trailing_directive_covers_whole_multiline_statement(self):
+        # The finding anchors on line 3 (the call) while the directive sits
+        # on the closing-paren line: same logical statement, so it covers.
+        src = (
+            "import time\n"
+            "x = (\n"
+            "    time.time()\n"
+            ")  # repro-lint: disable=RL02 -- wall time for a banner only\n"
+        )
+        assert lint_one(src, select=["RL02"]) == []
+
+    def test_leading_directive_covers_whole_multiline_statement(self):
+        src = (
+            "import time\n"
+            "x = (  # repro-lint: disable=RL02 -- wall time for a banner only\n"
+            "    time.time()\n"
+            ")\n"
+        )
+        assert lint_one(src, select=["RL02"]) == []
+
+    def test_multiline_directive_is_not_reported_unused(self):
+        src = (
+            "import time\n"
+            "x = (\n"
+            "    time.time()\n"
+            ")  # repro-lint: disable=RL02 -- wall time for a banner only\n"
+        )
+        assert lint_one(src) == []
+
+    def test_standalone_comment_directive_does_not_leak_to_next_statement(self):
+        src = (
+            "import time\n"
+            "# repro-lint: disable=RL02 -- floating directive, covers nothing\n"
+            "x = time.time()\n"
+        )
+        findings = lint_one(src)
+        assert sorted(rules_of(findings)) == ["RL00", "RL02"]
+        assert "unused" in [f for f in findings if f.rule == "RL00"][0].message
+
+    def test_unused_multiline_directive_reported_once(self):
+        src = (
+            "x = (\n"
+            "    1 + 2\n"
+            ")  # repro-lint: disable=RL02 -- nothing here uses a clock\n"
+        )
+        findings = lint_one(src)
+        assert rules_of(findings) == ["RL00"]
+
+
+# ----------------------------------------------------------------- baseline
+class TestBaseline:
+    def _run_cli(self, argv):
+        from repro.lint.cli import main
+
+        return main(argv)
+
+    def test_apply_baseline_counts(self):
+        from repro.lint.baseline import apply_baseline
+
+        f1 = Finding(rule="RL01", path="a.py", line=3, col=0, message="m1")
+        f2 = Finding(rule="RL01", path="a.py", line=9, col=0, message="m1")
+        f3 = Finding(rule="RL02", path="b.py", line=1, col=0, message="m2")
+        baseline = {("a.py", "RL01", "m1"): 1, ("c.py", "RL03", "gone"): 2}
+        new, matched, idle = apply_baseline([f1, f2, f3], baseline)
+        assert matched == 1
+        assert idle == 2
+        assert [(f.path, f.line) for f in new] == [("a.py", 9), ("b.py", 1)]
+
+    def test_write_then_apply_round_trips(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n", encoding="utf-8")
+        baseline = tmp_path / "lint-baseline.json"
+        assert self._run_cli([str(bad), "--write-baseline", str(baseline)]) == 0
+        assert "wrote baseline" in capsys.readouterr().out
+        # Same tree against its own baseline: clean exit.
+        assert self._run_cli([str(bad), "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "1 baselined" in out
+
+    def test_new_finding_fails_despite_baseline(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n", encoding="utf-8")
+        baseline = tmp_path / "lint-baseline.json"
+        assert self._run_cli([str(bad), "--write-baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        bad.write_text(
+            "import random\nx = random.random()\ny = random.random()\n",
+            encoding="utf-8",
+        )
+        assert self._run_cli([str(bad), "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        # Only the *new* occurrence is reported.
+        assert "1 finding(s)" in out
+        assert "1 baselined" in out
+
+    def test_fixed_finding_reports_idle_entry(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n", encoding="utf-8")
+        baseline = tmp_path / "lint-baseline.json"
+        assert self._run_cli([str(bad), "--write-baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        bad.write_text("x = 1\n", encoding="utf-8")
+        assert self._run_cli([str(bad), "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "1 baseline entr(ies) idle" in out
+
+    def test_baseline_and_write_baseline_are_exclusive(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("x = 1\n", encoding="utf-8")
+        baseline = tmp_path / "b.json"
+        rc = self._run_cli(
+            [str(bad), "--baseline", str(baseline), "--write-baseline", str(baseline)]
+        )
+        assert rc == 2
+
+    def test_missing_baseline_file_is_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("x = 1\n", encoding="utf-8")
+        rc = self._run_cli([str(bad), "--baseline", str(tmp_path / "absent.json")])
+        assert rc == 2
+
+    def test_json_format_reports_baseline_stats(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n", encoding="utf-8")
+        baseline = tmp_path / "b.json"
+        assert self._run_cli([str(bad), "--write-baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        assert (
+            self._run_cli([str(bad), "--baseline", str(baseline), "--format", "json"])
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["baseline"] == {"matched": 1, "idle": 0}
+        assert payload["findings"] == []
+
 
 # ----------------------------------------------------------------- framework
 class TestFramework:
-    def test_all_seven_rules_are_registered(self):
+    def test_all_nine_rules_are_registered(self):
         ids = [rule.id for rule in all_rules()]
-        assert ids == ["RL01", "RL02", "RL03", "RL04", "RL05", "RL06", "RL07"]
+        assert ids == [
+            "RL01", "RL02", "RL03", "RL04", "RL05", "RL06", "RL07",
+            "RL08", "RL09",
+        ]
         for rule in all_rules():
             assert rule.invariant and rule.rationale
 
@@ -503,6 +799,7 @@ class TestShippedTree:
         table = json.loads(listed.stdout)
         assert [row["id"] for row in table] == [
             "RL01", "RL02", "RL03", "RL04", "RL05", "RL06", "RL07",
+            "RL08", "RL09",
         ]
 
     def test_cli_json_findings_are_machine_readable(self, tmp_path):
